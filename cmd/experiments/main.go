@@ -1,0 +1,68 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-scale quick|full] [-figure all|table1|table2|fig4|fig8|fig12|fig13|fig14|fig15|fig16|fig17]
+//
+// Each figure prints the same rows/series the paper reports, produced by
+// this repository's simulator. See EXPERIMENTS.md for the expected shapes
+// and the recorded full-scale results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"encnvm/internal/exp"
+)
+
+func main() {
+	scaleName := flag.String("scale", "quick", "experiment scale: quick|full")
+	figure := flag.String("figure", "all", "which figure to regenerate")
+	flag.Parse()
+
+	sc, err := exp.ScaleByName(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	out := os.Stdout
+	runners := []struct {
+		name string
+		fn   func() error
+	}{
+		{"table2", func() error { exp.Table2(out); return nil }},
+		{"table1", func() error { exp.Table1(out); return nil }},
+		{"fig4", func() error { _, err := exp.Fig4(sc, out); return err }},
+		{"fig8", func() error { _, err := exp.Fig8(out); return err }},
+		{"fig12", func() error { _, err := exp.Fig12(sc, out); return err }},
+		{"fig13", func() error { _, err := exp.Fig13(sc, out); return err }},
+		{"fig14", func() error { _, err := exp.Fig14(sc, out); return err }},
+		{"fig15", func() error { _, err := exp.Fig15(sc, out); return err }},
+		{"fig16", func() error { _, err := exp.Fig16(sc, out); return err }},
+		{"fig17", func() error { _, err := exp.Fig17(sc, out); return err }},
+		{"lifetime", func() error { _, err := exp.Lifetime(sc, out); return err }},
+		{"osiris", func() error { _, err := exp.Osiris(sc, out); return err }},
+	}
+
+	ran := 0
+	for _, r := range runners {
+		if *figure != "all" && *figure != r.name {
+			continue
+		}
+		ran++
+		start := time.Now()
+		if err := r.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,81 @@
+// Command nvmsim runs one workload under one memory-system design and
+// prints the run's measurements and detailed statistics.
+//
+// Usage:
+//
+//	nvmsim [-design sca] [-workload btree] [-cores 1] [-items N] [-ops N]
+//	       [-opspertx N] [-seed N] [-verify] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"encnvm/internal/config"
+	"encnvm/internal/core"
+	"encnvm/internal/workloads"
+)
+
+// designByName maps CLI names to designs.
+var designByName = map[string]config.Design{
+	"noenc":       config.NoEncryption,
+	"ideal":       config.Ideal,
+	"colocated":   config.CoLocated,
+	"colocatedcc": config.CoLocatedCC,
+	"fca":         config.FCA,
+	"sca":         config.SCA,
+	"osiris":      config.Osiris,
+}
+
+func main() {
+	design := flag.String("design", "sca", "design: noenc|ideal|colocated|colocatedcc|fca|sca|osiris")
+	workload := flag.String("workload", "btree", "workload: "+strings.Join(workloads.Names(), "|"))
+	cores := flag.Int("cores", 1, "number of cores")
+	items := flag.Int("items", 4096, "initial structure population")
+	ops := flag.Int("ops", 256, "measured operations per core")
+	opsPerTx := flag.Int("opspertx", 1, "operations per transaction")
+	seed := flag.Int64("seed", 42, "workload RNG seed")
+	verify := flag.Bool("verify", true, "validate the final NVM image end-to-end")
+	showStats := flag.Bool("stats", false, "dump detailed statistics")
+	flag.Parse()
+
+	d, ok := designByName[*design]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
+		os.Exit(2)
+	}
+	res, err := core.RunWorkload(core.Options{
+		Design:   d,
+		Workload: *workload,
+		Cores:    *cores,
+		Params: workloads.Params{
+			Seed: *seed, Items: *items, Ops: *ops, OpsPerTx: *opsPerTx,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("design            %v\n", res.Design)
+	fmt.Printf("workload          %s (%d cores)\n", res.Workload, res.Cores)
+	fmt.Printf("transactions      %d\n", res.Transactions)
+	fmt.Printf("measured runtime  %.1f us\n", res.Runtime.Nanoseconds()/1000)
+	fmt.Printf("total runtime     %.1f us (incl. setup)\n", res.TotalRuntime.Nanoseconds()/1000)
+	fmt.Printf("throughput        %.0f tx/s\n", res.Throughput)
+	fmt.Printf("NVM bytes written %d\n", res.BytesWritten)
+
+	if *verify {
+		if err := core.VerifyResult(res); err != nil {
+			fmt.Fprintf(os.Stderr, "VERIFICATION FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("verification      final NVM image decrypts and validates OK")
+	}
+	if *showStats {
+		fmt.Println("\n--- statistics ---")
+		fmt.Print(res.Stats.String())
+	}
+}

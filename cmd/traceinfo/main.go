@@ -1,0 +1,115 @@
+// Command traceinfo generates and analyzes a workload's operation trace:
+// op-kind histogram, footprint, persist-primitive density, transaction
+// shape, and per-stage write counts. Useful for understanding what a
+// workload actually asks of the memory system before replaying it.
+//
+// Usage:
+//
+//	traceinfo [-workload btree] [-items N] [-ops N] [-opspertx N]
+//	          [-mode undo|redo] [-legacy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"encnvm/internal/mem"
+	"encnvm/internal/persist"
+	"encnvm/internal/trace"
+	"encnvm/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "btree", "workload: "+strings.Join(workloads.Names(), "|"))
+	items := flag.Int("items", 1024, "initial structure population")
+	ops := flag.Int("ops", 128, "measured operations")
+	opsPerTx := flag.Int("opspertx", 1, "operations per transaction")
+	mode := flag.String("mode", "undo", "transaction mechanism: undo|redo")
+	legacy := flag.Bool("legacy", false, "legacy (pre-paper) persistency primitives")
+	seed := flag.Int64("seed", 42, "workload RNG seed")
+	flag.Parse()
+
+	w, err := workloads.ByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	txMode := persist.Undo
+	if *mode == "redo" {
+		txMode = persist.Redo
+	} else if *mode != "undo" {
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	p := workloads.Params{Seed: *seed, Items: *items, Ops: *ops, OpsPerTx: *opsPerTx}
+	rt := persist.NewRuntime(persist.ArenaFor(0, 64<<20))
+	rt.SetLegacy(*legacy)
+	rt.SetTxMode(txMode)
+	w.Setup(rt, p)
+	setupLen := rt.Trace().Len()
+	w.Run(rt, p)
+	tr := rt.Trace()
+
+	if err := tr.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace invalid: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload        %s (mode=%v, legacy=%v)\n", w.Name(), txMode, *legacy)
+	fmt.Printf("trace length    %d ops (%d setup + %d measured)\n", tr.Len(), setupLen, tr.Len()-setupLen)
+	fmt.Printf("transactions    %d\n", tr.Transactions())
+	fmt.Printf("data footprint  %d lines (%.1f KB)\n", tr.FootprintLines(),
+		float64(tr.FootprintLines())*mem.LineBytes/1024)
+	fmt.Printf("heap used       %.1f KB\n", float64(rt.HeapUsed())/1024)
+
+	counts := tr.Counts()
+	fmt.Println("\nop histogram:")
+	for _, k := range []trace.Kind{trace.Read, trace.Write, trace.Clwb, trace.CCWB,
+		trace.Sfence, trace.Compute, trace.TxBegin, trace.TxEnd} {
+		fmt.Printf("  %-8v %8d\n", k, counts[k])
+	}
+
+	// Counter-atomic store density and per-transaction averages over the
+	// measured (post-setup) phase only.
+	caStores, caLines := 0, map[mem.Addr]bool{}
+	writeLines := map[mem.Addr]bool{}
+	measured := map[trace.Kind]int{}
+	for i, op := range tr.Ops {
+		if i >= setupLen {
+			measured[op.Kind]++
+		}
+		if op.Kind == trace.Write {
+			writeLines[op.Addr.LineAddr()] = true
+			if op.CounterAtomic {
+				caStores++
+				caLines[op.Addr.LineAddr()] = true
+			}
+		}
+	}
+	fmt.Printf("\ncounter-atomic stores   %d (%.2f%% of writes, %d distinct lines)\n",
+		caStores, pct(caStores, counts[trace.Write]), len(caLines))
+	if tx := tr.Transactions(); tx > 0 {
+		fmt.Printf("per transaction         %.1f writes, %.1f clwb, %.1f ccwb, %.1f fences, %.1f reads\n",
+			avg(measured[trace.Write], tx), avg(measured[trace.Clwb], tx),
+			avg(measured[trace.CCWB], tx), avg(measured[trace.Sfence], tx),
+			avg(measured[trace.Read], tx))
+	}
+	fmt.Printf("distinct lines written  %d\n", len(writeLines))
+}
+
+func pct(n, of int) float64 {
+	if of == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(of)
+}
+
+func avg(n, of int) float64 {
+	if of == 0 {
+		return 0
+	}
+	return float64(n) / float64(of)
+}

@@ -1,0 +1,3 @@
+module encnvm
+
+go 1.22

@@ -1,0 +1,138 @@
+// Package core is the library facade: it wires a workload, a design and a
+// configuration into a full simulated system — software runtime, cores,
+// caches, encrypted memory controller, PCM device — runs it, and returns
+// the measurements the paper's figures are built from. It also fronts the
+// crash-injection harness.
+//
+// Typical use:
+//
+//	res, err := core.RunWorkload(core.Options{
+//	        Design:   config.SCA,
+//	        Workload: "btree",
+//	        Cores:    4,
+//	})
+//	fmt.Println(res.Runtime, res.Throughput)
+package core
+
+import (
+	"fmt"
+
+	"encnvm/internal/config"
+	"encnvm/internal/crash"
+	"encnvm/internal/persist"
+	"encnvm/internal/replay"
+	"encnvm/internal/sim"
+	"encnvm/internal/stats"
+	"encnvm/internal/trace"
+	"encnvm/internal/workloads"
+)
+
+// Options selects what to simulate.
+type Options struct {
+	Design   config.Design
+	Workload string // one of workloads.Names()
+	Cores    int    // default 1
+	Params   workloads.Params
+	// Config overrides the derived configuration entirely when non-nil
+	// (used by the sensitivity sweeps).
+	Config *config.Config
+}
+
+func (o Options) build() (*config.Config, workloads.Workload, error) {
+	w, err := workloads.ByName(o.Workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := o.Config
+	if cfg == nil {
+		cores := o.Cores
+		if cores == 0 {
+			cores = 1
+		}
+		cfg = config.Default(o.Design).WithCores(cores)
+	}
+	return cfg, w, nil
+}
+
+// Result carries the measurements of one run.
+type Result struct {
+	Design       config.Design
+	Workload     string
+	Cores        int
+	Runtime      sim.Time // measured (transaction-phase) runtime
+	TotalRuntime sim.Time // including the setup phase
+	Transactions int
+	Throughput   float64 // transactions per simulated second
+	BytesWritten uint64  // NVM write traffic, data + counters
+	Stats        *stats.Stats
+	System       *replay.System // post-run system, for deeper inspection
+}
+
+// RunWorkload generates the workload's traces and replays them under the
+// selected design.
+func RunWorkload(o Options) (Result, error) {
+	cfg, w, err := o.build()
+	if err != nil {
+		return Result{}, err
+	}
+	traces := crash.BuildTraces(w, o.Params.WithDefaults(), cfg.NumCores)
+	return RunTraces(cfg, w.Name(), traces)
+}
+
+// RunTraces replays pre-built traces under the given configuration. Using
+// the same traces across designs gives the controlled comparison the
+// paper's figures rely on.
+func RunTraces(cfg *config.Config, workload string, traces []*trace.Trace) (Result, error) {
+	sys, err := replay.New(cfg, traces)
+	if err != nil {
+		return Result{}, err
+	}
+	// Timing-only runs need no per-write history; dropping it bounds
+	// memory on publication-scale sweeps.
+	sys.Dev.Image().SetRetainLog(false)
+	rt := sys.Run()
+	return Result{
+		Design:       cfg.Design,
+		Workload:     workload,
+		Cores:        cfg.NumCores,
+		Runtime:      sys.MeasuredRuntime(),
+		TotalRuntime: rt,
+		Transactions: sys.Transactions(),
+		Throughput:   sys.Throughput(),
+		BytesWritten: sys.St.TotalBytesWritten(),
+		Stats:        sys.St,
+		System:       sys,
+	}, nil
+}
+
+// VerifyResult runs the workload's validator over the final (decrypted)
+// NVM image of a completed run — an end-to-end functional check that the
+// whole stack (encryption, queues, flush) preserved the data.
+func VerifyResult(res Result) error {
+	w, err := workloads.ByName(res.Workload)
+	if err != nil {
+		return err
+	}
+	sys := res.System
+	if sys == nil {
+		return fmt.Errorf("core: result carries no system")
+	}
+	snapshot := sys.Dev.Image().SnapshotAt(sys.Dev.Image().LastWrite())
+	space := crash.DecryptImage(sys.Cfg, sys.MC.Layout(), sys.MC.Encryption(), snapshot)
+	for i := 0; i < res.Cores; i++ {
+		if err := w.Validate(space, persist.ArenaFor(i, crash.DefaultArena)); err != nil {
+			return fmt.Errorf("core %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CrashSweep injects n+1 crashes across the workload's execution under the
+// given design and reports recovery outcomes.
+func CrashSweep(o Options, points int) (crash.Report, error) {
+	cfg, w, err := o.build()
+	if err != nil {
+		return crash.Report{}, err
+	}
+	return crash.Sweep(cfg, w, o.Params.WithDefaults(), points)
+}

@@ -1,0 +1,280 @@
+// Package crash injects power failures into a simulated run and checks
+// whether the persistent state recovers consistently — the paper's central
+// correctness claim, exercised functionally.
+//
+// A crash at instant T leaves NVM holding exactly the device writes that
+// completed by T, plus the ADR drain of the write queues (§5.2.2: only
+// ready entries drain). Volatile state — caches, the dirty counter cache,
+// writes still awaiting queue acceptance — is lost. Recovery then does
+// what real firmware would do: decrypt every data line with the counter
+// found in NVM (garbage if data and counter are out of sync, Eq. 4), run
+// the undo-log recovery, and validate the workload's structural
+// invariants.
+//
+// Designs with counter-atomicity (FCA, SCA, the co-located pair) must
+// survive every crash point; the Ideal design — counter-mode encryption
+// with no counter-atomicity — demonstrably does not.
+package crash
+
+import (
+	"fmt"
+
+	"encnvm/internal/config"
+	"encnvm/internal/ctrenc"
+	"encnvm/internal/mem"
+	"encnvm/internal/persist"
+	"encnvm/internal/replay"
+	"encnvm/internal/sim"
+	"encnvm/internal/trace"
+	"encnvm/internal/workloads"
+)
+
+// DefaultArena is the per-core arena used by the harness.
+const DefaultArena = 64 << 20
+
+// Result is the outcome of one crash injection.
+type Result struct {
+	CrashAt          sim.Time
+	LostCounterLines int          // dirty counter-cache lines lost at the crash
+	RecoveredEntries int          // undo-log entries rolled back
+	CorruptLog       int          // log entries rejected as garbage
+	Osiris           RecoveryCost // candidate-search work (Osiris design only)
+	Err              error        // non-nil: recovery produced an inconsistent state
+}
+
+// Consistent reports whether recovery succeeded.
+func (r Result) Consistent() bool { return r.Err == nil }
+
+// Report summarizes a crash-point sweep.
+type Report struct {
+	Design   config.Design
+	Workload string
+	Results  []Result
+}
+
+// Failures returns the inconsistent results.
+func (r Report) Failures() []Result {
+	var out []Result
+	for _, res := range r.Results {
+		if !res.Consistent() {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("%-22s %-10s crash points: %3d, inconsistent: %d",
+		r.Design, r.Workload, len(r.Results), len(r.Failures()))
+}
+
+// BuildTraces runs the workload functionally on each core's runtime and
+// returns the per-core traces. Core i uses arena i and seed p.Seed+i.
+func BuildTraces(w workloads.Workload, p workloads.Params, cores int) []*trace.Trace {
+	traces := make([]*trace.Trace, cores)
+	for i := 0; i < cores; i++ {
+		pc := p
+		pc.Seed = p.Seed + int64(i)
+		rt := persist.NewRuntime(persist.ArenaFor(i, DefaultArena))
+		rt.SetLegacy(p.Legacy)
+		rt.SetTxMode(p.TxMode)
+		w.Setup(rt, pc)
+		w.Run(rt, pc)
+		traces[i] = rt.Trace()
+	}
+	return traces
+}
+
+// DecryptImage reconstructs the plaintext view of a post-crash NVM
+// snapshot, decrypting every data line with the counter present in the
+// snapshot's counter region — stale or missing counters yield garbage,
+// exactly as on real hardware.
+func DecryptImage(cfg *config.Config, lay mem.Layout, enc *ctrenc.Engine,
+	snapshot map[mem.Addr]mem.Line) *mem.Space {
+
+	space := mem.NewSpace()
+	for addr, ct := range snapshot {
+		if !lay.IsData(addr) {
+			continue
+		}
+		if !cfg.Design.Encrypted() {
+			space.WriteLine(addr, ct)
+			continue
+		}
+		var ctr uint64
+		if cl, ok := snapshot[lay.CounterLine(addr)]; ok {
+			ctr = ctrenc.UnpackCounterLine(cl)[lay.CounterSlot(addr)]
+		}
+		space.WriteLine(addr, enc.Decrypt(ct, addr, ctr))
+	}
+	return space
+}
+
+// decryptOsiris reconstructs the plaintext view the way Osiris-style
+// firmware would: for each data line, try the counter stored in NVM plus
+// up to StopLoss increments, accepting the first candidate whose decrypted
+// plaintext matches the line's persisted ECC checksum. The stop-loss write
+// rule guarantees the true counter lies within the window; a line whose
+// window exhausts without a match stays garbled (and fails validation).
+func decryptOsiris(cfg *config.Config, lay mem.Layout, enc *ctrenc.Engine,
+	writes map[mem.Addr]mem.Write) (*mem.Space, RecoveryCost) {
+
+	space := mem.NewSpace()
+	var cost RecoveryCost
+	for addr, w := range writes {
+		if !lay.IsData(addr) {
+			continue
+		}
+		cost.Lines++
+		var base uint64
+		if cl, ok := writes[lay.CounterLine(addr)]; ok {
+			base = ctrenc.UnpackCounterLine(cl.Data)[lay.CounterSlot(addr)]
+		}
+		recovered := false
+		for c := base; c <= base+uint64(cfg.StopLoss); c++ {
+			cost.Trials++
+			plain := enc.Decrypt(w.Data, addr, c)
+			if ctrenc.Checksum(plain, addr) == w.Sum {
+				space.WriteLine(addr, plain)
+				recovered = true
+				if c != base {
+					cost.Recovered++
+				}
+				break
+			}
+		}
+		if !recovered {
+			cost.Unrecovered++
+			space.WriteLine(addr, enc.Decrypt(w.Data, addr, base))
+		}
+	}
+	return space, cost
+}
+
+// RecoveryCost quantifies Osiris-style recovery work — the dimension the
+// Anubis follow-on optimizes. Trials counts candidate decryptions (each a
+// full-line AES operation); Recovered counts lines whose counter was stale
+// in NVM and had to be searched for; Unrecovered counts lines whose window
+// exhausted (which then fail validation).
+type RecoveryCost struct {
+	Lines       int
+	Trials      int
+	Recovered   int
+	Unrecovered int
+}
+
+// decryptOracle decrypts a post-crash snapshot using the ground-truth
+// counter recorded with each write — what the firmware would see if data
+// and counter had been perfectly atomic. The harness compares real
+// recovery against it to detect silent total loss.
+func decryptOracle(cfg *config.Config, lay mem.Layout, enc *ctrenc.Engine,
+	writes map[mem.Addr]mem.Write) *mem.Space {
+
+	space := mem.NewSpace()
+	for addr, w := range writes {
+		if !lay.IsData(addr) {
+			continue
+		}
+		if !cfg.Design.Encrypted() {
+			space.WriteLine(addr, w.Data)
+			continue
+		}
+		space.WriteLine(addr, enc.Decrypt(w.Data, addr, w.Tag))
+	}
+	return space
+}
+
+// InjectAt builds a fresh system over the given traces, crashes it at the
+// given instant, and runs recovery plus validation for every core's arena.
+func InjectAt(cfg *config.Config, w workloads.Workload, traces []*trace.Trace,
+	at sim.Time) (Result, error) {
+
+	sys, err := replay.New(cfg, traces)
+	if err != nil {
+		return Result{}, err
+	}
+	t := sys.RunUntil(at)
+	sys.MC.DrainADR(t)
+
+	res := Result{
+		CrashAt:          t,
+		LostCounterLines: len(sys.MC.DirtyCounterLines()),
+	}
+	writes := sys.Dev.Image().SnapshotWritesAt(t)
+	snapshot := make(map[mem.Addr]mem.Line, len(writes))
+	for a, wr := range writes {
+		snapshot[a] = wr.Data
+	}
+	var space *mem.Space
+	if cfg.Design == config.Osiris {
+		space, res.Osiris = decryptOsiris(cfg, sys.MC.Layout(), sys.MC.Encryption(), writes)
+	} else {
+		space = DecryptImage(cfg, sys.MC.Layout(), sys.MC.Encryption(), snapshot)
+	}
+	oracle := decryptOracle(cfg, sys.MC.Layout(), sys.MC.Encryption(), writes)
+
+	for i := range traces {
+		arena := persist.ArenaFor(i, DefaultArena)
+		rep := persist.Recover(space, arena)
+		res.RecoveredEntries += rep.ValidEntries
+		res.CorruptLog += rep.Corrupt
+
+		// The oracle is what a perfectly counter-atomic system would
+		// recover; it must always be consistent, or the harness itself
+		// is broken.
+		persist.Recover(oracle, arena)
+		if err := w.Validate(oracle, arena); err != nil {
+			return res, fmt.Errorf("crash: oracle inconsistent at %v: %w", t, err)
+		}
+
+		switch err := w.Validate(space, arena); {
+		case err != nil:
+			res.Err = fmt.Errorf("core %d: %w", i, err)
+		case w.Published(oracle, arena) && !w.Published(space, arena):
+			// The structure was persistently published, but the real
+			// decryption lost it entirely — silent catastrophic loss,
+			// which a structural validator alone cannot see.
+			res.Err = fmt.Errorf("core %d: published structure unreadable after crash (counters lost)", i)
+		}
+		if res.Err != nil {
+			break
+		}
+	}
+	return res, nil
+}
+
+// Sweep crashes the workload at n points spread evenly over its execution
+// window and reports every outcome. The window is discovered with one
+// uncrashed probe run over the same traces.
+func Sweep(cfg *config.Config, w workloads.Workload, p workloads.Params, n int) (Report, error) {
+	rep := Report{Design: cfg.Design, Workload: w.Name()}
+	traces := BuildTraces(w, p, cfg.NumCores)
+
+	probe, err := replay.New(cfg, traces)
+	if err != nil {
+		return rep, err
+	}
+	end := probe.Run()
+	if end == 0 {
+		return rep, fmt.Errorf("crash: empty run")
+	}
+
+	for i := 0; i < n; i++ {
+		// Skew towards the tail where commits and counter evictions
+		// cluster, but cover the whole run including t=0.
+		at := sim.Time(uint64(end) * uint64(i) / uint64(n))
+		res, err := InjectAt(cfg, w, traces, at)
+		if err != nil {
+			return rep, err
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	// Always include the final instant.
+	res, err := InjectAt(cfg, w, traces, end)
+	if err != nil {
+		return rep, err
+	}
+	rep.Results = append(rep.Results, res)
+	return rep, nil
+}

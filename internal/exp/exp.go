@@ -1,0 +1,157 @@
+// Package exp regenerates every table and figure of the paper's evaluation
+// (§6): single-core runtime (Fig. 12), multi-core throughput (Fig. 13),
+// write traffic (Fig. 14), counter-cache-size sensitivity (Fig. 15),
+// transaction-size sensitivity (Fig. 16), NVM-latency sensitivity
+// (Fig. 17), the system-configuration table (Table 2), the
+// transaction-stage analysis (Table 1 / Fig. 8), and the motivating crash
+// failure (Figs. 3/4).
+//
+// Absolute numbers come from this repository's own simulator, not the
+// authors' Gem5 testbed; the quantities that must (and do) reproduce are
+// the orderings and trends — see EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"encnvm/internal/config"
+	"encnvm/internal/core"
+	"encnvm/internal/crash"
+	"encnvm/internal/trace"
+	"encnvm/internal/workloads"
+)
+
+// Scale sizes the experiments. The paper runs 100MB–1GB footprints on
+// Gem5; Full scales those down ~10x so a figure regenerates in minutes,
+// Quick another ~10x for tests and smoke runs. Counter-cache sizes in the
+// Fig. 15 sweep scale down by the same factor as the footprints, keeping
+// the cache:footprint ratios of the paper.
+type Scale struct {
+	Name   string
+	Params workloads.Params
+	// ItemsFor overrides Params.Items per workload so each structure's
+	// footprint exceeds the shared L2 and the measured phase sees real
+	// read misses, as in the paper's 100MB+ footprints.
+	ItemsFor map[string]int
+	// Cores swept by Fig. 13.
+	Cores []int
+	// CrashPoints per crash sweep (Fig. 4).
+	CrashPoints int
+	// Fig15Footprints is the arrayswap item count per footprint column.
+	Fig15Footprints []int
+	// Fig15CacheSizes is the counter-cache size sweep in bytes.
+	Fig15CacheSizes []int
+	// Fig16Lines is the transaction-size sweep in cache lines.
+	Fig16Lines []int
+	// Fig17Factors is the latency scale sweep (>1 slower, <1 faster).
+	Fig17Factors []float64
+}
+
+// Quick is the test/smoke scale.
+var Quick = Scale{
+	Name:            "quick",
+	Params:          workloads.Params{Seed: 42, Items: 512, Ops: 96, OpsPerTx: 1, ComputeCycles: 200},
+	ItemsFor:        map[string]int{},
+	Cores:           []int{1, 2},
+	CrashPoints:     8,
+	Fig15Footprints: []int{1 << 14, 1 << 15}, // 128KB, 256KB arrays
+	Fig15CacheSizes: []int{8 << 10, 16 << 10, 32 << 10},
+	Fig16Lines:      []int{1, 4, 16},
+	Fig17Factors:    []float64{3, 1, 0.25},
+}
+
+// Full is the figure-regeneration scale (a ~10x scale-down of the paper).
+var Full = Scale{
+	Name:   "full",
+	Params: workloads.Params{Seed: 42, Items: 16384, Ops: 512, OpsPerTx: 1, ComputeCycles: 200},
+	ItemsFor: map[string]int{
+		"arrayswap": 1 << 19, // 4MB array
+		"queue":     1 << 15, // 2MB of nodes
+		"hashtable": 3 << 15, // ~6MB of nodes + buckets
+		"btree":     1 << 16, // ~2.8MB of nodes
+		"rbtree":    1 << 16, // 4MB of nodes
+	},
+	Cores:           []int{1, 2, 4, 8},
+	CrashPoints:     64,
+	Fig15Footprints: []int{1 << 17, 1 << 19, 1 << 21}, // 1MB, 4MB, 16MB arrays
+	Fig15CacheSizes: []int{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20},
+	Fig16Lines:      []int{1, 2, 4, 8, 16, 32, 64},
+	Fig17Factors:    []float64{10, 5, 3, 1, 0.5, 0.25},
+}
+
+// ScaleByName returns the named scale.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	default:
+		return Scale{}, fmt.Errorf("exp: unknown scale %q (quick|full)", name)
+	}
+}
+
+// ParamsFor returns the scale's parameters for one workload, applying the
+// per-workload footprint override.
+func (sc Scale) ParamsFor(name string) workloads.Params {
+	p := sc.Params
+	if n, ok := sc.ItemsFor[name]; ok && n > 0 {
+		p.Items = n
+	}
+	return p
+}
+
+// traceCache builds each workload's traces once per core count and reuses
+// them across designs — the controlled comparison every figure relies on.
+type traceCache struct {
+	scale Scale
+	byKey map[string][]*trace.Trace
+}
+
+func newTraceCache(sc Scale) *traceCache {
+	return &traceCache{scale: sc, byKey: make(map[string][]*trace.Trace)}
+}
+
+func (tc *traceCache) get(w workloads.Workload, cores int) []*trace.Trace {
+	// Per-core traces depend only on (workload, core index), so the
+	// n-core trace set is a prefix of any larger one; cache the largest
+	// built so far and slice.
+	key := w.Name()
+	tr := tc.byKey[key]
+	if len(tr) < cores {
+		tr = crash.BuildTraces(w, tc.scale.ParamsFor(w.Name()), cores)
+		tc.byKey[key] = tr
+	}
+	return tr[:cores]
+}
+
+// drop releases a workload's cached traces; multi-gigabyte sweeps call it
+// per workload to bound peak memory.
+func (tc *traceCache) drop(w workloads.Workload) {
+	delete(tc.byKey, w.Name())
+}
+
+// run replays a workload's cached traces under one design.
+func (tc *traceCache) run(d config.Design, w workloads.Workload, cores int) (core.Result, error) {
+	cfg := config.Default(d).WithCores(cores)
+	return core.RunTraces(cfg, w.Name(), tc.get(w, cores))
+}
+
+// geomean returns the geometric mean, the paper's cross-workload average.
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, x := range xs {
+		prod *= x
+	}
+	return math.Pow(prod, 1.0/float64(len(xs)))
+}
+
+// header prints a figure banner.
+func header(out io.Writer, title string) {
+	fmt.Fprintf(out, "\n=== %s ===\n", title)
+}

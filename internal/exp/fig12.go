@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"encnvm/internal/config"
+	"encnvm/internal/workloads"
+)
+
+// Fig12Result holds the single-core runtime of each design normalized to
+// the no-encryption design (lower is better), per workload plus average.
+type Fig12Result struct {
+	Workloads []string
+	// Normalized[workload][design] = runtime / runtime(NoEncryption).
+	Normalized map[string]map[config.Design]float64
+	Average    map[config.Design]float64
+}
+
+// fig12Designs are the bars of the paper's Figure 12.
+var fig12Designs = []config.Design{config.SCA, config.FCA, config.CoLocated, config.CoLocatedCC}
+
+// Fig12 regenerates Figure 12: single-core runtime normalized to
+// no-encryption for SCA, FCA, Co-located and Co-located w/ C-Cache.
+func Fig12(sc Scale, out io.Writer) (Fig12Result, error) {
+	res := Fig12Result{Normalized: make(map[string]map[config.Design]float64), Average: make(map[config.Design]float64)}
+	tc := newTraceCache(sc)
+
+	header(out, "Figure 12: single-core runtime normalized to NoEncryption (lower is better)")
+	fmt.Fprintf(out, "%-12s", "workload")
+	for _, d := range fig12Designs {
+		fmt.Fprintf(out, " %22s", d)
+	}
+	fmt.Fprintln(out)
+
+	perDesign := make(map[config.Design][]float64)
+	for _, w := range workloads.All() {
+		base, err := tc.run(config.NoEncryption, w, 1)
+		if err != nil {
+			return res, err
+		}
+		row := make(map[config.Design]float64)
+		fmt.Fprintf(out, "%-12s", w.Name())
+		for _, d := range fig12Designs {
+			r, err := tc.run(d, w, 1)
+			if err != nil {
+				return res, err
+			}
+			norm := float64(r.Runtime) / float64(base.Runtime)
+			row[d] = norm
+			perDesign[d] = append(perDesign[d], norm)
+			fmt.Fprintf(out, " %22.3f", norm)
+		}
+		fmt.Fprintln(out)
+		res.Workloads = append(res.Workloads, w.Name())
+		res.Normalized[w.Name()] = row
+	}
+	fmt.Fprintf(out, "%-12s", "average")
+	for _, d := range fig12Designs {
+		avg := geomean(perDesign[d])
+		res.Average[d] = avg
+		fmt.Fprintf(out, " %22.3f", avg)
+	}
+	fmt.Fprintln(out)
+	return res, nil
+}

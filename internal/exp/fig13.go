@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"encnvm/internal/config"
+	"encnvm/internal/workloads"
+)
+
+// Fig13Result holds multi-core throughput per workload, design and core
+// count, normalized to the single-core no-encryption run of the same
+// workload (higher is better).
+type Fig13Result struct {
+	Workloads []string
+	Cores     []int
+	// Normalized[workload][design][cores].
+	Normalized map[string]map[config.Design]map[int]float64
+}
+
+// fig13Designs are the series of the paper's Figure 13.
+var fig13Designs = []config.Design{
+	config.NoEncryption, config.Ideal, config.SCA,
+	config.FCA, config.CoLocated, config.CoLocatedCC,
+}
+
+// Fig13 regenerates Figure 13: throughput of multithreaded workloads
+// normalized to single-core no-encryption.
+func Fig13(sc Scale, out io.Writer) (Fig13Result, error) {
+	res := Fig13Result{
+		Cores:      sc.Cores,
+		Normalized: make(map[string]map[config.Design]map[int]float64),
+	}
+	// Throughput scaling needs per-transaction think time: with
+	// back-to-back write bursts every design saturates PCM write
+	// bandwidth and no core count helps. The paper's out-of-order cores
+	// overlap this work implicitly; the trace model makes it explicit.
+	scaled := sc
+	scaled.Params.ComputeCycles = 3000
+	tc := newTraceCache(scaled)
+	header(out, "Figure 13: throughput normalized to 1-core NoEncryption (higher is better)")
+
+	for _, w := range workloads.All() {
+		// Build the largest trace set once; smaller core counts use its
+		// prefix, and the whole set is dropped when the workload ends.
+		tc.get(w, sc.Cores[len(sc.Cores)-1])
+		base, err := tc.run(config.NoEncryption, w, 1)
+		if err != nil {
+			return res, err
+		}
+		res.Workloads = append(res.Workloads, w.Name())
+		res.Normalized[w.Name()] = make(map[config.Design]map[int]float64)
+
+		fmt.Fprintf(out, "\n%s\n%-24s", w.Name(), "design \\ cores")
+		for _, n := range sc.Cores {
+			fmt.Fprintf(out, " %8d", n)
+		}
+		fmt.Fprintln(out)
+		for _, d := range fig13Designs {
+			res.Normalized[w.Name()][d] = make(map[int]float64)
+			fmt.Fprintf(out, "%-24s", d)
+			for _, n := range sc.Cores {
+				r, err := tc.run(d, w, n)
+				if err != nil {
+					return res, err
+				}
+				norm := r.Throughput / base.Throughput
+				res.Normalized[w.Name()][d][n] = norm
+				fmt.Fprintf(out, " %8.2f", norm)
+			}
+			fmt.Fprintln(out)
+		}
+		tc.drop(w)
+	}
+
+	// The headline numbers: SCA's average improvement over FCA per core
+	// count, and its distance from Ideal (paper: 6/11/22/40% and <5%).
+	fmt.Fprintf(out, "\n%-40s", "SCA speedup over FCA (geomean)")
+	for _, n := range sc.Cores {
+		var ratios []float64
+		for _, w := range res.Workloads {
+			ratios = append(ratios, res.Normalized[w][config.SCA][n]/res.Normalized[w][config.FCA][n])
+		}
+		fmt.Fprintf(out, " %8.3f", geomean(ratios))
+	}
+	fmt.Fprintf(out, "\n%-40s", "SCA fraction of Ideal (geomean)")
+	for _, n := range sc.Cores {
+		var ratios []float64
+		for _, w := range res.Workloads {
+			ratios = append(ratios, res.Normalized[w][config.SCA][n]/res.Normalized[w][config.Ideal][n])
+		}
+		fmt.Fprintf(out, " %8.3f", geomean(ratios))
+	}
+	fmt.Fprintln(out)
+	return res, nil
+}
+
+// SCAOverFCA extracts the per-core-count SCA/FCA throughput ratio
+// (geomean across workloads) from a Fig13Result.
+func (r Fig13Result) SCAOverFCA(cores int) float64 {
+	var ratios []float64
+	for _, w := range r.Workloads {
+		ratios = append(ratios, r.Normalized[w][config.SCA][cores]/r.Normalized[w][config.FCA][cores])
+	}
+	return geomean(ratios)
+}
+
+// SCAOverIdeal extracts the per-core-count SCA/Ideal throughput ratio.
+func (r Fig13Result) SCAOverIdeal(cores int) float64 {
+	var ratios []float64
+	for _, w := range r.Workloads {
+		ratios = append(ratios, r.Normalized[w][config.SCA][cores]/r.Normalized[w][config.Ideal][cores])
+	}
+	return geomean(ratios)
+}

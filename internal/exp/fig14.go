@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"encnvm/internal/config"
+	"encnvm/internal/workloads"
+)
+
+// Fig14Result holds NVM write traffic normalized to the no-encryption
+// design (lower is better).
+type Fig14Result struct {
+	Workloads []string
+	// Normalized[workload][design] = bytes written / bytes(NoEncryption).
+	Normalized map[string]map[config.Design]float64
+	Average    map[config.Design]float64
+}
+
+// Fig14 regenerates Figure 14: write traffic to NVMM normalized to the
+// no-encryption design for SCA, FCA and the two co-located designs.
+func Fig14(sc Scale, out io.Writer) (Fig14Result, error) {
+	res := Fig14Result{Normalized: make(map[string]map[config.Design]float64), Average: make(map[config.Design]float64)}
+	tc := newTraceCache(sc)
+
+	header(out, "Figure 14: NVM write traffic normalized to NoEncryption (lower is better)")
+	fmt.Fprintf(out, "%-12s", "workload")
+	for _, d := range fig12Designs {
+		fmt.Fprintf(out, " %22s", d)
+	}
+	fmt.Fprintln(out)
+
+	perDesign := make(map[config.Design][]float64)
+	for _, w := range workloads.All() {
+		base, err := tc.run(config.NoEncryption, w, 1)
+		if err != nil {
+			return res, err
+		}
+		row := make(map[config.Design]float64)
+		fmt.Fprintf(out, "%-12s", w.Name())
+		for _, d := range fig12Designs {
+			r, err := tc.run(d, w, 1)
+			if err != nil {
+				return res, err
+			}
+			norm := float64(r.BytesWritten) / float64(base.BytesWritten)
+			row[d] = norm
+			perDesign[d] = append(perDesign[d], norm)
+			fmt.Fprintf(out, " %22.3f", norm)
+		}
+		fmt.Fprintln(out)
+		res.Workloads = append(res.Workloads, w.Name())
+		res.Normalized[w.Name()] = row
+	}
+	fmt.Fprintf(out, "%-12s", "average")
+	for _, d := range fig12Designs {
+		avg := geomean(perDesign[d])
+		res.Average[d] = avg
+		fmt.Fprintf(out, " %22.3f", avg)
+	}
+	fmt.Fprintln(out)
+	return res, nil
+}

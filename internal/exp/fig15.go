@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"encnvm/internal/config"
+	"encnvm/internal/core"
+	"encnvm/internal/crash"
+	"encnvm/internal/stats"
+	"encnvm/internal/workloads"
+)
+
+// Fig15Result holds the counter-cache-size sensitivity of SCA: speedup
+// over the smallest cache and the counter-cache miss rate, per footprint.
+type Fig15Result struct {
+	FootprintItems []int
+	CacheSizes     []int
+	// Speedup[footprintIdx][cacheIdx] over the smallest cache size.
+	Speedup [][]float64
+	// MissRate[footprintIdx][cacheIdx].
+	MissRate [][]float64
+}
+
+// Fig15 regenerates Figure 15: SCA with counter caches from the smallest
+// to the largest size of the sweep, across workload footprints. The
+// workload is arrayswap — the footprint knob is exact (8B per item) and
+// accesses are uniformly random, the worst case for counter locality.
+func Fig15(sc Scale, out io.Writer) (Fig15Result, error) {
+	res := Fig15Result{FootprintItems: sc.Fig15Footprints, CacheSizes: sc.Fig15CacheSizes}
+	w := &workloads.ArraySwap{}
+
+	header(out, "Figure 15: SCA counter-cache size sensitivity (arrayswap)")
+	for _, items := range sc.Fig15Footprints {
+		p := sc.Params
+		p.Items = items
+		// Enough operations to touch a representative sample of the
+		// footprint during the measured phase.
+		p.Ops = max(p.Ops, items/64)
+		traces := crash.BuildTraces(w, p, 1)
+
+		var speedups, misses []float64
+		var baseRuntime float64
+		fmt.Fprintf(out, "\nfootprint %6.1fMB:", float64(items)*8/(1<<20))
+		for i, size := range sc.Fig15CacheSizes {
+			cfg := config.Default(config.SCA).WithCounterCacheSize(size)
+			r, err := core.RunTraces(cfg, w.Name(), traces)
+			if err != nil {
+				return res, err
+			}
+			if i == 0 {
+				baseRuntime = float64(r.Runtime)
+			}
+			speedups = append(speedups, baseRuntime/float64(r.Runtime))
+			miss := 1 - r.Stats.HitRate(stats.CounterCacheHits, stats.CounterCacheMiss)
+			misses = append(misses, miss)
+			fmt.Fprintf(out, " [%4dKB: %.3fx, miss %4.1f%%]", size>>10, speedups[i], miss*100)
+		}
+		fmt.Fprintln(out)
+		res.Speedup = append(res.Speedup, speedups)
+		res.MissRate = append(res.MissRate, misses)
+	}
+	return res, nil
+}

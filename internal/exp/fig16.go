@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"encnvm/internal/config"
+	"encnvm/internal/core"
+	"encnvm/internal/crash"
+	"encnvm/internal/workloads"
+)
+
+// Fig16Result holds SCA's runtime normalized to the Ideal design as the
+// transaction size grows (lower is better; converges to ~1).
+type Fig16Result struct {
+	Workloads []string
+	TxLines   []int
+	// Overhead[workload][txSizeIdx] = runtime(SCA)/runtime(Ideal).
+	Overhead map[string][]float64
+}
+
+// linesPerOp approximates how many distinct cache lines one operation of
+// each workload mutates, used to translate a target transaction size in
+// cache lines into an OpsPerTx batch.
+var linesPerOp = map[string]int{
+	"arrayswap": 2,
+	"queue":     2,
+	"hashtable": 2,
+	"btree":     4,
+	"rbtree":    3,
+}
+
+// Fig16 regenerates Figure 16: SCA runtime normalized to Ideal while the
+// number of cache lines committed per transaction sweeps from one line
+// toward a page.
+func Fig16(sc Scale, out io.Writer) (Fig16Result, error) {
+	res := Fig16Result{TxLines: sc.Fig16Lines, Overhead: make(map[string][]float64)}
+	header(out, "Figure 16: SCA runtime normalized to Ideal vs transaction size (lower is better)")
+	fmt.Fprintf(out, "%-12s", "workload")
+	for _, lines := range sc.Fig16Lines {
+		fmt.Fprintf(out, " %7dL", lines)
+	}
+	fmt.Fprintln(out)
+
+	for _, w := range workloads.All() {
+		res.Workloads = append(res.Workloads, w.Name())
+		fmt.Fprintf(out, "%-12s", w.Name())
+		for _, lines := range sc.Fig16Lines {
+			p := sc.ParamsFor(w.Name())
+			p.OpsPerTx = max(1, lines/linesPerOp[w.Name()])
+			// Keep the number of transactions roughly constant so
+			// the commit-cost amortization is what varies.
+			p.Ops = p.OpsPerTx * max(16, sc.Params.Ops/8)
+			traces := crash.BuildTraces(w, p, 1)
+
+			ideal, err := core.RunTraces(config.Default(config.Ideal), w.Name(), traces)
+			if err != nil {
+				return res, err
+			}
+			sca, err := core.RunTraces(config.Default(config.SCA), w.Name(), traces)
+			if err != nil {
+				return res, err
+			}
+			ratio := float64(sca.Runtime) / float64(ideal.Runtime)
+			res.Overhead[w.Name()] = append(res.Overhead[w.Name()], ratio)
+			fmt.Fprintf(out, " %8.3f", ratio)
+		}
+		fmt.Fprintln(out)
+	}
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"encnvm/internal/config"
+	"encnvm/internal/core"
+	"encnvm/internal/workloads"
+)
+
+// Fig17Result holds SCA's average speedup over the co-located design as
+// NVM read or write latency scales from much slower to much faster than
+// the baseline PCM.
+type Fig17Result struct {
+	Factors []float64
+	// ReadSweep[i] / WriteSweep[i]: geomean over workloads of
+	// runtime(CoLocated)/runtime(SCA) at Factors[i] applied to the read
+	// (resp. write) path.
+	ReadSweep  []float64
+	WriteSweep []float64
+}
+
+// fig17Scale derives the trace parameters for the latency sweep: several
+// operations per transaction and inter-transaction think time.
+func fig17Scale(sc Scale) Scale {
+	out := sc
+	out.Params.OpsPerTx = 4
+	out.Params.ComputeCycles = 2000
+	return out
+}
+
+// Fig17 regenerates Figure 17: SCA speedup over the co-located design
+// under scaled NVM read latency (a) and write latency (b).
+func Fig17(sc Scale, out io.Writer) (Fig17Result, error) {
+	res := Fig17Result{Factors: sc.Fig17Factors}
+	// The latency sensitivity needs read-dominated transactions with
+	// think time; back-to-back write bursts saturate the write path and
+	// mask the read-side decryption effects the figure is about.
+	tc := newTraceCache(fig17Scale(sc))
+
+	run := func(readX, writeX float64) (float64, error) {
+		var ratios []float64
+		for _, w := range workloads.All() {
+			traces := tc.get(w, 1)
+			colo, err := core.RunTraces(
+				config.Default(config.CoLocated).WithNVMLatencyScale(readX, writeX), w.Name(), traces)
+			if err != nil {
+				return 0, err
+			}
+			sca, err := core.RunTraces(
+				config.Default(config.SCA).WithNVMLatencyScale(readX, writeX), w.Name(), traces)
+			if err != nil {
+				return 0, err
+			}
+			ratios = append(ratios, float64(colo.Runtime)/float64(sca.Runtime))
+		}
+		return geomean(ratios), nil
+	}
+
+	header(out, "Figure 17: SCA speedup over Co-located vs NVM latency (geomean; >1 = SCA faster)")
+	fmt.Fprintf(out, "%-24s", "latency factor")
+	for _, f := range sc.Fig17Factors {
+		fmt.Fprintf(out, " %8.2gx", f)
+	}
+	fmt.Fprintf(out, "\n%-24s", "(a) read latency sweep")
+	for _, f := range sc.Fig17Factors {
+		s, err := run(f, 1)
+		if err != nil {
+			return res, err
+		}
+		res.ReadSweep = append(res.ReadSweep, s)
+		fmt.Fprintf(out, " %9.3f", s)
+	}
+	fmt.Fprintf(out, "\n%-24s", "(b) write latency sweep")
+	for _, f := range sc.Fig17Factors {
+		s, err := run(1, f)
+		if err != nil {
+			return res, err
+		}
+		res.WriteSweep = append(res.WriteSweep, s)
+		fmt.Fprintf(out, " %9.3f", s)
+	}
+	fmt.Fprintln(out)
+	return res, nil
+}
+
+// fig17ArraySwapOnly runs the read-latency sweep on arrayswap alone —
+// the workload whose footprint is an exact knob — returning the
+// CoLocated/SCA runtime ratio per factor. Used by the trend test.
+func fig17ArraySwapOnly(sc Scale) ([]float64, error) {
+	tc := newTraceCache(fig17Scale(sc))
+	w := &workloads.ArraySwap{}
+	var out []float64
+	for _, f := range sc.Fig17Factors {
+		traces := tc.get(w, 1)
+		colo, err := core.RunTraces(
+			config.Default(config.CoLocated).WithNVMLatencyScale(f, 1), w.Name(), traces)
+		if err != nil {
+			return nil, err
+		}
+		sca, err := core.RunTraces(
+			config.Default(config.SCA).WithNVMLatencyScale(f, 1), w.Name(), traces)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, float64(colo.Runtime)/float64(sca.Runtime))
+	}
+	return out, nil
+}

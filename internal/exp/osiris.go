@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"encnvm/internal/config"
+	"encnvm/internal/crash"
+	"encnvm/internal/workloads"
+)
+
+// OsirisResult summarizes the extension study: the Osiris-style design's
+// performance relative to SCA and Ideal, and its crash consistency with
+// legacy software.
+type OsirisResult struct {
+	Workloads []string
+	// VsSCA[w] = runtime(Osiris)/runtime(SCA); < 1 means Osiris faster.
+	VsSCA map[string]float64
+	// VsIdeal[w] = runtime(Osiris)/runtime(Ideal).
+	VsIdeal map[string]float64
+	// LegacyFailures across all workloads' crash sweeps (must be 0).
+	LegacyFailures int
+	LegacyPoints   int
+	// RecoveryTrialsPerLine is the average candidate decryptions per NVM
+	// line during recovery — the recovery-time cost the Anubis follow-on
+	// targets (1.0 = counters were always current).
+	RecoveryTrialsPerLine float64
+}
+
+// Osiris regenerates the extension study: the follow-on direction this
+// paper spawned replaces software counter-atomicity with ECC-assisted
+// counter recovery bounded by a stop-loss write rule. The study answers
+// two questions: does it really free legacy software from the §2.2
+// failure, and what does it cost relative to SCA?
+func Osiris(sc Scale, out io.Writer) (OsirisResult, error) {
+	res := OsirisResult{
+		VsSCA:   make(map[string]float64),
+		VsIdeal: make(map[string]float64),
+	}
+	tc := newTraceCache(sc)
+
+	header(out, "Extension: Osiris-style ECC counter recovery (stop-loss window = 4)")
+	fmt.Fprintf(out, "%-12s %16s %16s\n", "workload", "vs SCA", "vs Ideal")
+	for _, w := range workloads.All() {
+		sca, err := tc.run(config.SCA, w, 1)
+		if err != nil {
+			return res, err
+		}
+		ideal, err := tc.run(config.Ideal, w, 1)
+		if err != nil {
+			return res, err
+		}
+		osi, err := tc.run(config.Osiris, w, 1)
+		if err != nil {
+			return res, err
+		}
+		vsSCA := float64(osi.Runtime) / float64(sca.Runtime)
+		vsIdeal := float64(osi.Runtime) / float64(ideal.Runtime)
+		res.Workloads = append(res.Workloads, w.Name())
+		res.VsSCA[w.Name()] = vsSCA
+		res.VsIdeal[w.Name()] = vsIdeal
+		fmt.Fprintf(out, "%-12s %15.3fx %15.3fx\n", w.Name(), vsSCA, vsIdeal)
+	}
+
+	// Crash consistency with legacy (pre-paper) software.
+	p := sc.Params
+	p.Items = min(p.Items, 128)
+	p.Ops = min(p.Ops, 32)
+	p.Legacy = true
+	var trials, lines int
+	for _, w := range workloads.All() {
+		rep, err := crash.Sweep(config.Default(config.Osiris), w, p, sc.CrashPoints)
+		if err != nil {
+			return res, err
+		}
+		res.LegacyFailures += len(rep.Failures())
+		res.LegacyPoints += len(rep.Results)
+		for _, r := range rep.Results {
+			trials += r.Osiris.Trials
+			lines += r.Osiris.Lines
+		}
+	}
+	if lines > 0 {
+		res.RecoveryTrialsPerLine = float64(trials) / float64(lines)
+	}
+	fmt.Fprintf(out, "legacy software crash sweeps: %d/%d points inconsistent (0 expected)\n",
+		res.LegacyFailures, res.LegacyPoints)
+	fmt.Fprintf(out, "recovery cost: %.2f candidate decryptions per line (Anubis's target metric)\n",
+		res.RecoveryTrialsPerLine)
+	return res, nil
+}

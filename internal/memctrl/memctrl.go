@@ -1,0 +1,852 @@
+// Package memctrl implements the encrypted NVMM memory controller of the
+// paper's Figure 11: an encryption engine with a counter cache, a data
+// write queue, a counter write queue, and the counter-atomicity protocol
+// that guarantees a data line and its encryption counter persist together.
+//
+// The six evaluated designs differ only in policy:
+//
+//   - NoEncryption: plaintext writes, no counters.
+//   - Ideal: counter-mode encryption; counters coalesce in the counter
+//     cache and are written back only on eviction; no atomicity cost (and
+//     no crash consistency — the crash harness proves it).
+//   - Co-located (±counter cache): counter travels with the data in one
+//     72B access over a widened bus; atomic by construction.
+//   - FCA: every write is counter-atomic — each data write is paired with
+//     a write of its (full) counter line, and the pair is accepted into
+//     the two ADR-protected write queues atomically.
+//   - SCA: only writes marked CounterAtomic pay the pairing protocol;
+//     everything else leaves its counter dirty in the counter cache until
+//     counter_cache_writeback() drains it (coalesced).
+//
+// Counter-atomicity protocol: a CA write is accepted only when the data
+// write queue and the counter write queue both have a free entry; both
+// entries are created together with the ready bit set (the paper's steps
+// ⑤–⑦ collapse to the acceptance instant). Entries in a queue are
+// ADR-protected: on power failure every ready entry drains to NVM. Because
+// a CA pair is accepted atomically, a crash can never persist one half.
+package memctrl
+
+import (
+	"encnvm/internal/cache"
+	"encnvm/internal/config"
+	"encnvm/internal/ctrenc"
+	"encnvm/internal/mem"
+	"encnvm/internal/nvm"
+	"encnvm/internal/sim"
+	"encnvm/internal/stats"
+)
+
+// forwardLatency approximates servicing a read from a matching write-queue
+// entry instead of the NVM array.
+const forwardLatency = 5 * sim.Nanosecond
+
+// acceptWindow bounds how far the out-of-order acceptance scan looks past
+// the oldest blocked request — a finite scheduler lookahead, which also
+// keeps acceptance linear when the shutdown flush enqueues tens of
+// thousands of writebacks at once.
+const acceptWindow = 64
+
+// counterLinger is how long a counter-line write may sit in the (ADR
+// protected) counter write queue before it must issue to the device.
+// Lingering is safe — queued entries survive power failure — and is where
+// counter-write coalescing happens: eight data lines share a counter line
+// and transactions rewrite the same log-slot counter lines, so a short
+// linger absorbs most counter updates (Fig. 14's traffic reduction).
+const counterLinger = 2 * sim.Microsecond
+
+// entry is one in-flight write: accepted into a queue, possibly already
+// issued to the device, removed at device completion. All queued entries
+// are ready (ADR-drainable); unready requests wait in the accept FIFO
+// outside the queues.
+type entry struct {
+	addr     mem.Addr
+	data     mem.Line
+	nbytes   int
+	tag      uint64         // encryption counter (ground truth for the harness)
+	sum      uint16         // plaintext checksum (the persisted ECC model)
+	ca       bool           // counter-atomic data write (never coalesced)
+	eligible bool           // encryption pipeline done; may issue
+	issued   bool           // device write dispatched
+	done     bool           // device write completed
+	deadline sim.Time       // counter entries: must issue by this time
+	sync     func(sim.Time) // extra image bookkeeping at completion
+}
+
+// writeReq is a write awaiting acceptance.
+type writeReq struct {
+	addr     mem.Addr
+	plain    mem.Line
+	ca       bool
+	isCtr    bool     // counter-line write (ccwb or eviction)
+	ccwb     bool     // isCtr via counter_cache_writeback: dirty-checked at its turn
+	accepted func()   // fires at acceptance (persistence now guaranteed)
+	arrival  sim.Time // for queueing-delay stats
+}
+
+// Controller is the memory controller for one simulated system.
+type Controller struct {
+	eng *sim.Engine
+	cfg *config.Config
+	dev *nvm.Device
+	st  *stats.Stats
+
+	layout mem.Layout
+	enc    *ctrenc.Engine
+	ctrs   *ctrenc.Counters
+	ctrC   *cache.Cache // nil unless the design uses a counter cache
+
+	dataQ     []*entry
+	counterQ  []*entry
+	pending   []*writeReq // FIFO accept queue (backpressure)
+	accepting bool        // reentrancy guard for tryAccept
+
+	// The scheduler dispatches a bounded number of device writes per
+	// queue; entries waiting behind the window remain coalescible, which
+	// is where SCA's counter-write coalescing (§6.3.3) happens.
+	dataIssued    int
+	counterIssued int
+
+	// Read-queue capacity (Table 2: 32 entries): reads beyond it wait
+	// their turn in arrival order.
+	readsInFlight int
+	readWaiters   []func()
+
+	// stopLossLag counts, per data line, writes since the line's counter
+	// last headed to NVM (Osiris design only).
+	stopLossLag map[mem.Addr]int
+}
+
+// New builds a controller over the given device.
+func New(eng *sim.Engine, cfg *config.Config, dev *nvm.Device, st *stats.Stats) *Controller {
+	mc := &Controller{
+		eng:    eng,
+		cfg:    cfg,
+		dev:    dev,
+		st:     st,
+		layout: dev.Layout(),
+		ctrs:   ctrenc.NewCounters(),
+	}
+	if cfg.Design.Encrypted() {
+		mc.enc = ctrenc.NewDefault()
+	}
+	if cfg.Design.UsesCounterCache() {
+		mc.ctrC = cache.New(cfg.CounterCache)
+	}
+	if cfg.Design == config.Osiris {
+		mc.stopLossLag = make(map[mem.Addr]int)
+	}
+	return mc
+}
+
+// Counters exposes the authoritative per-line counter state (the values
+// most recently used for encryption) for the crash harness and recovery.
+func (mc *Controller) Counters() *ctrenc.Counters { return mc.ctrs }
+
+// Encryption returns the functional encryption engine, or nil for the
+// NoEncryption design.
+func (mc *Controller) Encryption() *ctrenc.Engine { return mc.enc }
+
+// Layout returns the data/counter address layout.
+func (mc *Controller) Layout() mem.Layout { return mc.layout }
+
+// ---------------------------------------------------------------------------
+// Read path
+
+// Read fetches the data line at addr. done fires when decrypted data would
+// be available to fill the caches. The actual plaintext flows through the
+// replay engine's image; the controller provides timing and traffic.
+// Reads beyond the read queue's capacity wait in arrival order.
+func (mc *Controller) Read(addr mem.Addr, done func()) {
+	addr = addr.LineAddr()
+
+	// Forward from an in-flight or waiting write if possible.
+	if mc.findWrite(addr) {
+		mc.st.Inc("mc.read_forwards", 1)
+		mc.eng.Schedule(forwardLatency, done)
+		return
+	}
+
+	if mc.readsInFlight >= mc.cfg.ReadQueueEntries {
+		mc.st.Inc("mc.read_queue_full", 1)
+		mc.readWaiters = append(mc.readWaiters, func() { mc.Read(addr, done) })
+		return
+	}
+	mc.readsInFlight++
+	userDone := done
+	done = func() {
+		mc.readsInFlight--
+		if len(mc.readWaiters) > 0 {
+			next := mc.readWaiters[0]
+			mc.readWaiters = mc.readWaiters[1:]
+			mc.eng.Schedule(0, next)
+		}
+		userDone()
+	}
+
+	d := mc.cfg.Design
+	switch {
+	case d == config.NoEncryption:
+		mc.dev.Read(addr, mc.cfg.AccessBytes(), func(mem.Line, bool) { done() })
+
+	case d == config.CoLocated:
+		// No counter cache: the counter arrives with the data, so
+		// decryption strictly follows the read (Fig. 6a).
+		mc.dev.Read(addr, mc.cfg.AccessBytes(), func(mem.Line, bool) {
+			mc.eng.Schedule(mc.cfg.CryptoLatency, done)
+		})
+
+	case d == config.CoLocatedCC:
+		cl := mc.layout.CounterLine(addr)
+		hit := mc.ctrC.Access(cl, false).Hit
+		mc.ctrC.Clean(cl) // co-located counters are never dirty on-chip
+		if hit {
+			mc.st.Inc(stats.CounterCacheHits, 1)
+			// OTP generation overlaps the data fetch (Fig. 6b).
+			mc.join2(addr, mc.cfg.CryptoLatency, done)
+		} else {
+			mc.st.Inc(stats.CounterCacheMiss, 1)
+			// The 72B access brings the counter; decrypt after.
+			mc.dev.Read(addr, mc.cfg.AccessBytes(), func(mem.Line, bool) {
+				mc.eng.Schedule(mc.cfg.CryptoLatency, done)
+			})
+		}
+
+	default: // Ideal, FCA, SCA: separate counter region + counter cache
+		cl := mc.layout.CounterLine(addr)
+		res := mc.ctrC.Access(cl, false)
+		mc.evictCounterVictim(res)
+		if res.Hit {
+			mc.st.Inc(stats.CounterCacheHits, 1)
+			mc.join2(addr, mc.cfg.CryptoLatency, done)
+		} else {
+			mc.st.Inc(stats.CounterCacheMiss, 1)
+			// The read stalls until the counter line arrives from
+			// NVM, then OTP generation, overlapped with the data
+			// fetch (§5.2.1 "Counter Cache Miss").
+			remaining := 2
+			dec := func() {
+				remaining--
+				if remaining == 0 {
+					done()
+				}
+			}
+			mc.dev.Read(addr, 64, func(mem.Line, bool) { dec() })
+			mc.dev.Read(cl, 64, func(mem.Line, bool) {
+				mc.eng.Schedule(mc.cfg.CryptoLatency, dec)
+			})
+		}
+	}
+}
+
+// join2 runs done when both the data fetch for addr and an on-chip delay
+// (OTP generation) have elapsed.
+func (mc *Controller) join2(addr mem.Addr, delay sim.Time, done func()) {
+	remaining := 2
+	dec := func() {
+		remaining--
+		if remaining == 0 {
+			done()
+		}
+	}
+	mc.dev.Read(addr, mc.cfg.AccessBytes(), func(mem.Line, bool) { dec() })
+	mc.eng.Schedule(delay, dec)
+}
+
+func (mc *Controller) findWrite(addr mem.Addr) bool {
+	for _, e := range mc.dataQ {
+		if e.addr == addr {
+			return true
+		}
+	}
+	for _, r := range mc.pending {
+		if !r.isCtr && r.addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+
+// Write writes back the plaintext line at addr. ca marks a store to a
+// CounterAtomic variable; the FCA design treats every write as
+// counter-atomic regardless. accepted fires when the write's persistence
+// is guaranteed (entered the ADR domain, with its counter where the design
+// requires one).
+func (mc *Controller) Write(addr mem.Addr, plain mem.Line, ca bool, accepted func()) {
+	addr = addr.LineAddr()
+	if mc.cfg.Design == config.FCA {
+		ca = true
+	}
+	if !mc.cfg.Design.SeparateCounterWrites() || mc.cfg.Design == config.Osiris {
+		// Co-located designs have no separate counter writes to pair;
+		// Osiris recovers counters from ECC, so atomicity is never
+		// enforced.
+		ca = false
+	}
+	if ca {
+		mc.st.Inc(stats.CAWrites, 1)
+	} else {
+		mc.st.Inc(stats.NonCAWrites, 1)
+	}
+	mc.pending = append(mc.pending, &writeReq{
+		addr: addr, plain: plain, ca: ca, accepted: accepted, arrival: mc.eng.Now(),
+	})
+	mc.tryAccept()
+}
+
+// CounterWriteback implements counter_cache_writeback(addr) (§4.3): if the
+// counter line covering addr is dirty in the counter cache, write it back
+// (without invalidating). accepted fires when the counter write is in the
+// ADR domain — immediately if there was nothing to write.
+func (mc *Controller) CounterWriteback(addr mem.Addr, accepted func()) {
+	mc.st.Inc(stats.CCWBs, 1)
+	d := mc.cfg.Design
+	if !d.SeparateCounterWrites() || d == config.Osiris {
+		// Co-located designs have no separate counters to write, and
+		// Osiris makes the primitive unnecessary: recovery regenerates
+		// counters from the persisted ECC within the stop-loss window.
+		mc.eng.Schedule(0, accepted)
+		return
+	}
+	// The dirty check must happen at the request's turn in acceptance
+	// order, not now: the clwbs the program issued just before this
+	// ccwb may still await acceptance, and only acceptance bumps their
+	// counters. Checking early would silently skip exactly the counters
+	// the barrier is meant to persist.
+	cl := mc.layout.CounterLine(addr)
+	req := &writeReq{addr: cl, isCtr: true, ccwb: true, arrival: mc.eng.Now()}
+	if d == config.Ideal {
+		// The Ideal design pays the counter write traffic but never
+		// the ordering: the barrier does not wait for the counter to
+		// enter the ADR domain — which is exactly why it is not crash
+		// consistent.
+		mc.eng.Schedule(0, accepted)
+	} else {
+		req.accepted = accepted
+	}
+	mc.pending = append(mc.pending, req)
+	mc.tryAccept()
+}
+
+// enqueueCounterWrite queues a standalone (always-ready) write of the
+// counter line cl with its current packed values.
+func (mc *Controller) enqueueCounterWrite(cl mem.Addr, accepted func()) {
+	mc.pending = append(mc.pending, &writeReq{
+		addr: cl, isCtr: true, accepted: accepted, arrival: mc.eng.Now(),
+	})
+	mc.tryAccept()
+}
+
+// packCounterLine snapshots the current values of the eight counters
+// stored in counter line cl.
+func (mc *Controller) packCounterLine(cl mem.Addr) mem.Line {
+	var vals [mem.CountersPerLine]uint64
+	for i, da := range mc.layout.DataLinesOf(cl) {
+		vals[i] = mc.ctrs.Current(da)
+	}
+	return ctrenc.PackCounterLine(vals)
+}
+
+// tryAccept admits pending writes while queue capacity allows. A
+// counter-atomic write needs space in both queues and is admitted as an
+// atomic pair; a regular write needs only the data queue.
+//
+// Acceptance order is the design's key lever:
+//
+//   - FCA accepts strictly in FIFO order, so a CA write stuck waiting for
+//     counter-queue space blocks every younger write behind it — the
+//     serialization of Fig. 7a.
+//   - All other designs accept out of order, with exactly the ordering
+//     crash consistency requires: writes to the same data line stay in
+//     program order, and counter writes (ccwb, evictions) never bypass an
+//     earlier unaccepted data write — a counter writeback must cover the
+//     counters of every write the program issued before it. Plain data
+//     writes may bypass stalled CA and counter writes, which is what lets
+//     SCA scale with core count (Fig. 13).
+func (mc *Controller) tryAccept() {
+	if mc.accepting {
+		// Acceptance can enqueue new writes (counter-cache eviction
+		// writebacks); they land at the tail of pending and are picked
+		// up by the loop already running below.
+		return
+	}
+	mc.accepting = true
+	defer func() { mc.accepting = false }()
+
+	fifo := mc.cfg.Design == config.FCA
+	// blockedLines is bounded by acceptWindow, so a linear scan beats a
+	// map allocation on this very hot path; stalls are tallied locally
+	// and flushed to the stats map once per call.
+	var blockedLines [acceptWindow]mem.Addr
+	stalls := uint64(0)
+	defer func() {
+		if stalls > 0 {
+			mc.st.Inc(stats.WriteQueueStalls, stalls)
+		}
+	}()
+	for {
+		progress := false
+		dataUnaccepted := false // an earlier data/CA write is still pending
+		ctrBlocked := false     // an earlier counter write is still pending
+		nBlocked := 0
+		blocked := func(a mem.Addr) bool {
+			for _, b := range blockedLines[:nBlocked] {
+				if b == a {
+					return true
+				}
+			}
+			return false
+		}
+		block := func(a mem.Addr) {
+			if nBlocked < len(blockedLines) && !blocked(a) {
+				blockedLines[nBlocked] = a
+				nBlocked++
+			}
+		}
+
+		// Detach the list: acceptance can enqueue fresh requests
+		// (counter-cache eviction writebacks), which land on the
+		// now-empty mc.pending and are merged behind the survivors.
+		pending := mc.pending
+		mc.pending = nil
+		var keep []*writeReq
+
+		for i := 0; i < len(pending); i++ {
+			if len(keep) >= acceptWindow {
+				// Lookahead exhausted; everything younger waits.
+				keep = append(keep, pending[i:]...)
+				break
+			}
+			req := pending[i]
+			var ok bool
+			switch {
+			case req.isCtr:
+				turn := !ctrBlocked && !dataUnaccepted
+				if turn && req.ccwb && (mc.ctrC == nil || !mc.ctrC.IsDirty(req.addr)) {
+					// Nothing to write after all; the request
+					// completes without consuming a queue slot.
+					if req.accepted != nil {
+						mc.eng.Schedule(0, req.accepted)
+					}
+					progress = true
+					continue
+				}
+				ok = turn && (len(mc.counterQ) < mc.cfg.CounterWriteQueue ||
+					mc.hasUnissuedCounter(req.addr))
+				if !ok {
+					ctrBlocked = true
+				}
+			case req.ca:
+				haveData := len(mc.dataQ) < mc.cfg.DataWriteQueue
+				// Outside FCA, the counter half coalesces into an
+				// unissued entry for the same counter line, so a full
+				// counter queue only blocks when no such entry exists.
+				haveCtr := len(mc.counterQ) < mc.cfg.CounterWriteQueue ||
+					(!fifo && mc.hasUnissuedCounter(mc.layout.CounterLine(req.addr)))
+				ok = !dataUnaccepted && !ctrBlocked && !blocked(req.addr) &&
+					haveData && haveCtr
+				if !ok {
+					if haveData != haveCtr {
+						mc.st.Inc(stats.ReadyBitWaits, 1)
+					}
+					dataUnaccepted = true
+					block(req.addr)
+				}
+			default:
+				ok = !blocked(req.addr) && len(mc.dataQ) < mc.cfg.DataWriteQueue
+				if !ok {
+					dataUnaccepted = true
+					block(req.addr)
+				}
+			}
+			if ok {
+				if req.isCtr {
+					mc.acceptCounter(req)
+				} else {
+					mc.acceptData(req)
+				}
+				progress = true
+			} else {
+				stalls++
+				keep = append(keep, req)
+				if fifo {
+					// Strict FIFO: nothing younger may pass.
+					keep = append(keep, pending[i+1:]...)
+					break
+				}
+			}
+		}
+		mc.pending = append(keep, mc.pending...)
+		if !progress || len(mc.pending) == 0 {
+			return
+		}
+	}
+}
+
+// acceptData admits one data write: encrypt, update the counter state,
+// queue the device write, and (for CA writes) pair it with the counter
+// line write.
+func (mc *Controller) acceptData(req *writeReq) {
+	now := mc.eng.Now()
+	mc.st.Observe("mc.accept_delay", now-req.arrival)
+
+	var cipher mem.Line
+	var cryptoDelay sim.Time
+	var ctr uint64
+	d := mc.cfg.Design
+	sum := ctrenc.Checksum(req.plain, req.addr)
+	if d.Encrypted() {
+		ctr = mc.ctrs.Next(req.addr)
+		cipher = mc.enc.Encrypt(req.plain, req.addr, ctr)
+		cryptoDelay = mc.cfg.CryptoLatency
+		mc.touchCounterCacheForWrite(req.addr)
+		mc.stopLoss(req.addr, cryptoDelay)
+	} else {
+		cipher = req.plain
+	}
+
+	// A non-CA write to a line already queued but not dispatched
+	// overwrites that entry instead of occupying another slot.
+	if !req.ca {
+		for _, old := range mc.dataQ {
+			if old.addr == req.addr && !old.issued && !old.ca {
+				old.data, old.tag, old.sum = cipher, ctr, sum
+				if d.CoLocatesCounters() {
+					// The refreshed 72B access carries the new counter.
+					addr, c := req.addr, ctr
+					old.sync = func(at sim.Time) { mc.syncCoLocatedCounter(addr, c, at) }
+				}
+				mc.st.Inc(stats.CoalescedWrites, 1)
+				if req.accepted != nil {
+					mc.eng.Schedule(0, req.accepted)
+				}
+				return
+			}
+		}
+	}
+
+	e := &entry{addr: req.addr, data: cipher, nbytes: mc.cfg.AccessBytes(), tag: ctr, sum: sum, ca: req.ca}
+	if d.CoLocatesCounters() {
+		// The 72B access carries the counter with the data; reflect
+		// that in the functional image at the same completion instant
+		// so the pair is atomic by construction.
+		addr, c := req.addr, ctr
+		e.sync = func(at sim.Time) { mc.syncCoLocatedCounter(addr, c, at) }
+	}
+	mc.dataQ = append(mc.dataQ, e)
+	mc.makeEligible(e, cryptoDelay)
+
+	if req.ca {
+		cl := mc.layout.CounterLine(req.addr)
+		if mc.cfg.Design == config.FCA {
+			// FCA pairs every write with its own counter-line write —
+			// the pair is indivisible, so the counter half never
+			// coalesces. This is what doubles FCA's write traffic
+			// (§4.1) and keeps its 16-entry counter queue under
+			// pressure (Fig. 7a's serialization).
+			ce := &entry{addr: cl, data: mc.packCounterLine(cl), nbytes: 64, ca: true,
+				deadline: mc.eng.Now() + cryptoDelay}
+			mc.counterQ = append(mc.counterQ, ce)
+			mc.makeEligible(ce, cryptoDelay)
+		} else {
+			mc.queueCounterEntry(cl, cryptoDelay)
+		}
+		// The queued snapshot makes the cached line clean again.
+		if mc.ctrC != nil {
+			mc.ctrC.Clean(cl)
+		}
+	}
+	if req.accepted != nil {
+		mc.eng.Schedule(0, req.accepted)
+	}
+}
+
+// acceptCounter admits one standalone counter-line write (ccwb/eviction).
+// If the same counter line is already queued and not yet dispatched, the
+// queued entry is refreshed in place — the write-queue coalescing that
+// gives SCA its counter-traffic reduction (Fig. 14).
+func (mc *Controller) acceptCounter(req *writeReq) {
+	mc.st.Observe("mc.ctr_accept_delay", mc.eng.Now()-req.arrival)
+	if req.ccwb {
+		// The counter line leaves the dirty state now that a write of
+		// its current contents is guaranteed.
+		mc.ctrC.Clean(req.addr)
+		mc.st.Inc(stats.CounterCacheWB, 1)
+	}
+	mc.queueCounterEntry(req.addr, 0)
+	if req.accepted != nil {
+		mc.eng.Schedule(0, req.accepted)
+	}
+}
+
+// hasUnissuedCounter reports whether an unissued (coalescible) counter
+// entry for the counter line cl is queued.
+func (mc *Controller) hasUnissuedCounter(cl mem.Addr) bool {
+	for _, e := range mc.counterQ {
+		if e.addr == cl && !e.issued {
+			return true
+		}
+	}
+	return false
+}
+
+// queueCounterEntry coalesces a counter-line write into an unissued queued
+// entry for the same line, or appends a fresh entry with a linger deadline.
+func (mc *Controller) queueCounterEntry(cl mem.Addr, cryptoDelay sim.Time) {
+	for _, old := range mc.counterQ {
+		if old.addr == cl && !old.issued {
+			old.data = mc.packCounterLine(cl)
+			mc.st.Inc(stats.CoalescedCounters, 1)
+			return
+		}
+	}
+	e := &entry{addr: cl, data: mc.packCounterLine(cl), nbytes: 64,
+		deadline: mc.eng.Now() + cryptoDelay + counterLinger}
+	mc.counterQ = append(mc.counterQ, e)
+	mc.makeEligible(e, cryptoDelay)
+	// The deadline event guarantees the entry eventually issues even if
+	// nothing else stirs the scheduler.
+	mc.eng.At(e.deadline, mc.tryIssue)
+}
+
+// makeEligible marks the entry dispatchable once the encryption pipeline
+// delay has elapsed, then runs the issue scheduler.
+func (mc *Controller) makeEligible(e *entry, delay sim.Time) {
+	if delay == 0 {
+		e.eligible = true
+		mc.tryIssue()
+		return
+	}
+	mc.eng.Schedule(delay, func() {
+		e.eligible = true
+		mc.tryIssue()
+	})
+}
+
+// Issue-width limits: how many device writes each queue keeps in flight.
+// Entries behind the window stay in the queue, ADR-protected and still
+// coalescible — modeling a scheduler that drains the queue at device speed
+// rather than reserving the device the instant a write is accepted.
+func (mc *Controller) dataIssueWidth() int    { return min(mc.cfg.Banks, mc.cfg.DataWriteQueue) }
+func (mc *Controller) counterIssueWidth() int { return max(1, mc.cfg.CounterWriteQueue/2) }
+
+// tryIssue dispatches eligible entries in queue order up to each queue's
+// issue width.
+func (mc *Controller) tryIssue() {
+	for _, e := range mc.dataQ {
+		if mc.dataIssued >= mc.dataIssueWidth() {
+			break
+		}
+		if e.eligible && !e.issued {
+			mc.issue(e, true)
+		}
+	}
+	// Counter writes drain lazily: only under capacity pressure or past
+	// their linger deadline, maximizing coalescing windows. Pressure
+	// keeps a quarter of the queue free so counter-atomic pairs can
+	// always be accepted promptly.
+	pressure := len(mc.counterQ) >= mc.cfg.CounterWriteQueue-mc.cfg.CounterWriteQueue/4
+	now := mc.eng.Now()
+	for _, e := range mc.counterQ {
+		if mc.counterIssued >= mc.counterIssueWidth() {
+			break
+		}
+		if e.eligible && !e.issued && (pressure || now >= e.deadline) {
+			mc.issue(e, false)
+		}
+	}
+}
+
+// issue dispatches one entry's device write and retires it at completion.
+func (mc *Controller) issue(e *entry, isData bool) {
+	e.issued = true
+	if isData {
+		mc.dataIssued++
+	} else {
+		mc.counterIssued++
+	}
+	mc.dev.Write(e.addr, e.data, e.nbytes, e.tag, e.sum, func() {
+		e.done = true
+		if isData {
+			mc.dataIssued--
+		} else {
+			mc.counterIssued--
+		}
+		if e.sync != nil {
+			e.sync(mc.eng.Now())
+		}
+		mc.retire(isData)
+	})
+}
+
+// retire drops completed entries, re-runs the issue scheduler and
+// acceptance (capacity may have freed).
+func (mc *Controller) retire(isData bool) {
+	compact := func(q []*entry) []*entry {
+		out := q[:0]
+		for _, e := range q {
+			if !e.done {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	if isData {
+		mc.dataQ = compact(mc.dataQ)
+	} else {
+		mc.counterQ = compact(mc.counterQ)
+	}
+	mc.tryIssue()
+	mc.tryAccept()
+}
+
+// stopLoss enforces the Osiris rule: a data line's counter heads to NVM
+// after at most StopLoss consecutive rewrites, bounding recovery's
+// candidate-counter search. The counter write is a normal lazy queue entry
+// (no ordering waits) and resets the lag of every line its counter line
+// covers.
+func (mc *Controller) stopLoss(addr mem.Addr, cryptoDelay sim.Time) {
+	if mc.stopLossLag == nil {
+		return
+	}
+	line := addr.LineAddr()
+	mc.stopLossLag[line]++
+	if mc.stopLossLag[line] < mc.cfg.StopLoss {
+		return
+	}
+	cl := mc.layout.CounterLine(line)
+	mc.queueCounterEntry(cl, cryptoDelay)
+	if mc.ctrC != nil {
+		mc.ctrC.Clean(cl)
+	}
+	for _, da := range mc.layout.DataLinesOf(cl) {
+		delete(mc.stopLossLag, da)
+	}
+	mc.st.Inc("mc.stoploss_counter_writes", 1)
+}
+
+// syncCoLocatedCounter updates the single 8B counter slot for a data line
+// in the image's counter region at the instant the co-located 72B write
+// completed, keeping the functional image decryptable.
+func (mc *Controller) syncCoLocatedCounter(dataAddr mem.Addr, ctr uint64, at sim.Time) {
+	cl := mc.layout.CounterLine(dataAddr)
+	cur, _ := mc.dev.Image().Read(cl)
+	vals := ctrenc.UnpackCounterLine(cur)
+	vals[mc.layout.CounterSlot(dataAddr)] = ctr
+	mc.dev.WriteAt(cl, ctrenc.PackCounterLine(vals), 0, 0, at)
+}
+
+// touchCounterCacheForWrite updates counter-cache state for a write to the
+// data line addr: allocate/refresh the counter line, fetch it on a miss
+// (background, non-blocking — a fresh counter is used regardless, §5.2.1),
+// and write back any dirty victim.
+func (mc *Controller) touchCounterCacheForWrite(addr mem.Addr) {
+	if mc.ctrC == nil {
+		return
+	}
+	cl := mc.layout.CounterLine(addr)
+	res := mc.ctrC.Access(cl, true)
+	mc.evictCounterVictim(res)
+	if res.Hit {
+		mc.st.Inc(stats.CounterCacheHits, 1)
+		return
+	}
+	mc.st.Inc(stats.CounterCacheMiss, 1)
+	if mc.cfg.Design.SeparateCounterWrites() {
+		// Background fill of the other seven counters in the line.
+		mc.dev.Read(cl, 64, func(mem.Line, bool) {})
+	}
+	if mc.cfg.Design.CoLocatesCounters() {
+		mc.ctrC.Clean(cl) // co-located counters persist with their data
+	}
+}
+
+// evictCounterVictim writes back a dirty counter line displaced from the
+// counter cache. Losing it would strand stale counters in NVM for
+// committed data — eviction writebacks are mandatory for correctness in
+// the Ideal and SCA designs.
+func (mc *Controller) evictCounterVictim(res cache.AccessResult) {
+	if !res.VictimValid || !res.VictimDirty {
+		return
+	}
+	mc.st.Inc(stats.CounterCacheWB, 1)
+	mc.enqueueCounterWrite(res.Victim, nil)
+}
+
+// ---------------------------------------------------------------------------
+// Crash and shutdown support
+
+// PendingWork reports outstanding controller work: writes awaiting
+// acceptance or device completion.
+func (mc *Controller) PendingWork() int {
+	return len(mc.pending) + len(mc.dataQ) + len(mc.counterQ)
+}
+
+// Backlog reports how many writes are still waiting for acceptance. The
+// replay engine uses it as writeback-buffer backpressure: a core stalls
+// when the controller is drowning, as real cache hierarchies do when
+// their writeback buffers fill.
+func (mc *Controller) Backlog() int { return len(mc.pending) }
+
+// QueueOccupancy returns the current data/counter queue depths.
+func (mc *Controller) QueueOccupancy() (data, counter int) {
+	return len(mc.dataQ), len(mc.counterQ)
+}
+
+// DrainADR models the paper's extended ADR support at power failure: every
+// entry resident in the (battery-backed) write queues drains to NVM at the
+// crash instant. Entries awaiting acceptance are volatile and are lost.
+// Because CA pairs are accepted atomically, no half-pair can be resident.
+func (mc *Controller) DrainADR(at sim.Time) {
+	for _, e := range mc.dataQ {
+		if !e.done {
+			mc.dev.WriteAt(e.addr, e.data, e.tag, e.sum, at)
+			if e.sync != nil {
+				// Co-located entries carry their counter in the
+				// same 72B access; the drain persists both halves.
+				e.sync(at)
+			}
+		}
+	}
+	for _, e := range mc.counterQ {
+		if !e.done {
+			mc.dev.WriteAt(e.addr, e.data, 0, 0, at)
+		}
+	}
+}
+
+// DirtyCounterLines returns the counter-cache lines whose latest values
+// exist only on-chip. On a crash these are lost — the root cause of the
+// paper's inconsistency (Fig. 3/4) in designs without counter-atomicity.
+func (mc *Controller) DirtyCounterLines() []mem.Addr {
+	if mc.ctrC == nil {
+		return nil
+	}
+	return mc.ctrC.DirtyLines()
+}
+
+// FlushCounters writes back every dirty counter line (graceful shutdown),
+// making the NVM image fully self-consistent. accepted fires once all
+// flushes are accepted.
+func (mc *Controller) FlushCounters(accepted func()) {
+	if mc.ctrC == nil {
+		mc.eng.Schedule(0, accepted)
+		return
+	}
+	lines := mc.ctrC.CleanAll()
+	remaining := len(lines)
+	if remaining == 0 {
+		mc.eng.Schedule(0, accepted)
+		return
+	}
+	for _, cl := range lines {
+		mc.enqueueCounterWrite(cl, func() {
+			remaining--
+			if remaining == 0 {
+				accepted()
+			}
+		})
+	}
+}

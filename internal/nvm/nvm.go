@@ -1,0 +1,158 @@
+// Package nvm models the PCM main-memory device: a set of independent
+// banks behind one shared DDR3-style bus, with the Table-2 timing
+// parameters. Reads occupy the bank for the array access (tRCD+tCL) and
+// then burst the line over the bus; writes burst first and then occupy the
+// bank for the long PCM programming time (tCWD+tWR ≈ 313ns), which is what
+// makes write-queue backpressure matter.
+//
+// The device is also the functional NVM: every completed write lands in a
+// timestamped mem.Image so a crash can be injected at any instant.
+package nvm
+
+import (
+	"encnvm/internal/config"
+	"encnvm/internal/mem"
+	"encnvm/internal/sim"
+	"encnvm/internal/stats"
+)
+
+// Device is one NVM module. All methods must be called from within the
+// simulation event loop (they are not goroutine-safe).
+type Device struct {
+	eng    *sim.Engine
+	cfg    *config.Config
+	timing config.NVMTiming
+	layout mem.Layout
+
+	// Each bank tracks read and write occupancy separately, modeling
+	// PCM write pausing: a read preempts an in-progress array write, so
+	// reads contend only with other reads on the bank while writes
+	// serialize among themselves. Without this, the 300ns PCM write
+	// recovery would dominate every read and mask the decryption-latency
+	// effects the paper measures.
+	readBanks  []sim.Resource
+	writeBanks []sim.Resource
+	bus        sim.Resource
+
+	image *mem.Image
+	st    *stats.Stats
+
+	// wear counts device writes per line for endurance analysis
+	// (§6.3.3: PCM cells endure a bounded number of writes).
+	wear map[mem.Addr]uint64
+}
+
+// New builds a device for the given configuration.
+func New(eng *sim.Engine, cfg *config.Config, st *stats.Stats) *Device {
+	return &Device{
+		eng:        eng,
+		cfg:        cfg,
+		timing:     cfg.EffectiveTiming(),
+		layout:     mem.NewLayout(cfg.MemoryBytes),
+		readBanks:  make([]sim.Resource, cfg.Banks),
+		writeBanks: make([]sim.Resource, cfg.Banks),
+		image:      mem.NewImage(),
+		st:         st,
+		wear:       make(map[mem.Addr]uint64),
+	}
+}
+
+// Layout returns the device's data/counter address layout.
+func (d *Device) Layout() mem.Layout { return d.layout }
+
+// Image returns the functional contents with write timestamps.
+func (d *Device) Image() *mem.Image { return d.image }
+
+// bankIndex hashes a line address onto a bank. XOR-folding high line-index
+// bits keeps power-of-two strides (per-core arenas, log-slot spacing) from
+// collapsing onto one bank — standard memory-controller bank hashing.
+func (d *Device) bankIndex(addr mem.Addr) int {
+	idx := addr.LineIndex()
+	h := idx ^ idx>>7 ^ idx>>13 ^ idx>>19
+	return int(h % uint64(len(d.readBanks)))
+}
+
+// Read schedules a read of the line at addr. done fires at the completion
+// time with the line contents currently in NVM (zero line if never
+// written). nbytes is the access size (64, or 72 when counters are
+// co-located) and only affects bus occupancy.
+func (d *Device) Read(addr mem.Addr, nbytes int, done func(data mem.Line, ok bool)) {
+	addr = addr.LineAddr()
+	now := d.eng.Now()
+	_, bankEnd := d.readBanks[d.bankIndex(addr)].Reserve(now, d.timing.TRCD+d.timing.TCL)
+	_, busEnd := d.bus.Reserve(bankEnd, d.cfg.BurstTime(nbytes))
+
+	d.st.Inc(stats.Reads, 1)
+	d.st.Inc(stats.BytesRead, uint64(nbytes))
+	d.st.Observe("nvm.read_latency", busEnd-now)
+
+	d.eng.At(busEnd, func() {
+		data, ok := d.image.Read(addr)
+		done(data, ok)
+	})
+}
+
+// Write schedules a write of the line at addr. The data becomes persistent
+// (lands in the image) at the completion time, when done fires. nbytes is
+// the access size for bus occupancy and traffic accounting; the stats
+// classify traffic as data or counter by address region. tag is the
+// ground-truth encryption counter recorded with the image write (0 when
+// not applicable).
+func (d *Device) Write(addr mem.Addr, data mem.Line, nbytes int, tag uint64, sum uint16, done func()) {
+	addr = addr.LineAddr()
+	now := d.eng.Now()
+	_, busEnd := d.bus.Reserve(now, d.cfg.BurstTime(nbytes))
+	_, bankEnd := d.writeBanks[d.bankIndex(addr)].Reserve(busEnd, d.timing.TCWD+d.timing.TWR)
+
+	if d.layout.IsCounter(addr) {
+		d.st.Inc(stats.CounterWrites, 1)
+		d.st.Inc(stats.CounterBytesWritten, uint64(nbytes))
+	} else {
+		d.st.Inc(stats.DataWrites, 1)
+		d.st.Inc(stats.DataBytesWritten, uint64(nbytes))
+	}
+	d.st.Observe("nvm.write_latency", bankEnd-now)
+	d.wear[addr]++
+
+	d.eng.At(bankEnd, func() {
+		d.image.ApplyFull(addr, data, bankEnd, tag, sum)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// WriteAt records a write that is already persistent at time at, bypassing
+// timing — used by the ADR drain at crash time, which runs on residual
+// power outside normal scheduling.
+func (d *Device) WriteAt(addr mem.Addr, data mem.Line, tag uint64, sum uint16, at sim.Time) {
+	d.image.ApplyFull(addr.LineAddr(), data, at, tag, sum)
+}
+
+// ReadLatency returns the unloaded latency of one read access: array access
+// plus burst. Used for reporting, not scheduling.
+func (d *Device) ReadLatency(nbytes int) sim.Time {
+	return d.timing.TRCD + d.timing.TCL + d.cfg.BurstTime(nbytes)
+}
+
+// WriteLatency returns the unloaded latency of one write access.
+func (d *Device) WriteLatency(nbytes int) sim.Time {
+	return d.cfg.BurstTime(nbytes) + d.timing.TCWD + d.timing.TWR
+}
+
+// BusBusyTime reports total bus occupancy so far.
+func (d *Device) BusBusyTime() sim.Time { return d.bus.BusyTime() }
+
+// Wear summarizes device write endurance: lines ever written, total line
+// writes, and the hottest line's write count. Under ideal (uniform) wear
+// leveling, lifetime is inversely proportional to total writes; without
+// leveling the hottest line dies first.
+func (d *Device) Wear() (lines int, total, hottest uint64) {
+	for _, n := range d.wear {
+		total += n
+		if n > hottest {
+			hottest = n
+		}
+	}
+	return len(d.wear), total, hottest
+}

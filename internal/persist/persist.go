@@ -1,0 +1,485 @@
+// Package persist is the software half of the system: a persistent-memory
+// programming runtime that workloads execute against. It provides the
+// paper's primitives — persist_barrier (clwb+sfence), CounterAtomic stores,
+// and counter_cache_writeback() (§4.3) — plus undo- and redo-logging
+// transactions; the undo form is built exactly as Figure 9 prescribes:
+//
+//	prepare:  write the backup log entry, counter_cache_writeback(log),
+//	          persist_barrier, then set the entry's valid flag with a
+//	          CounterAtomic store, persist_barrier
+//	mutate:   in-place updates, counter_cache_writeback(data),
+//	          persist_barrier
+//	commit:   clear valid with a CounterAtomic store, persist_barrier
+//
+// While a workload runs, the runtime both executes it functionally against
+// a plaintext Space and records every memory operation into a trace.Trace
+// for the timing engine.
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"encnvm/internal/mem"
+	"encnvm/internal/trace"
+)
+
+// Arena layout: each core owns a disjoint region; the undo log occupies the
+// front, the heap the rest.
+const (
+	// LogSlots is the number of undo-log entries per arena. One
+	// transaction is outstanding at a time; a few slots give headroom.
+	LogSlots = 4
+	// LogSlotBytes is the fixed size of one log slot.
+	LogSlotBytes = 32 << 10
+	// LogRegionBytes is the total log footprint at the arena base.
+	LogRegionBytes = LogSlots * LogSlotBytes
+
+	// Slot layout. The log backs up whole cache lines: restoring only
+	// the stored byte range would leave the rest of a garbled line as
+	// garbage after a counter/data mismatch, so line granularity is a
+	// correctness requirement, not an optimization.
+	slotValidOff  = 0   // 8B valid flag, sharing its line with the kind
+	slotKindOff   = 8   // 8B mechanism tag (undo or redo), same line as valid
+	slotHeaderOff = 64  // 8B backed-up line count
+	slotTableOff  = 128 // 8B per backed-up line address
+	maxLogLines   = 256
+	slotDataOff   = slotTableOff + maxLogLines*8
+
+	// validMagic marks a log entry as live. Recovery treats anything
+	// else — including garbage from a failed decryption — as invalid.
+	validMagic = 0x56414C49447E7E01
+
+	// Log-entry kinds: which versioning mechanism produced the entry.
+	kindUndo = 0x554E444F554E444F // payload holds the OLD lines
+	kindRedo = 0x5245444F5245444F // payload holds the NEW lines
+)
+
+// TxMode selects the crash-consistency mechanism used by Tx. The paper's
+// observation (§4.2) is that every versioning mechanism — undo logging,
+// redo logging, shadowing — has the same shape: one version is mutated
+// while the other stays recoverable, and only the version switch needs
+// counter-atomicity. Supporting both logging directions demonstrates that
+// the primitives are mechanism-agnostic.
+type TxMode int
+
+const (
+	// Undo logs the old values, mutates in place, and rolls back on
+	// recovery (the paper's Fig. 9).
+	Undo TxMode = iota
+	// Redo logs the new values first, applies them in place after the
+	// log commits, and rolls forward on recovery.
+	Redo
+)
+
+// String names the mode.
+func (m TxMode) String() string {
+	if m == Redo {
+		return "redo"
+	}
+	return "undo"
+}
+
+// Arena is one core's region of the persistent address space.
+type Arena struct {
+	Base mem.Addr
+	Size uint64
+}
+
+// ArenaFor returns core id's arena of the given size. Bases carry a
+// line-aligned per-core skew so different cores' heaps do not collide in
+// the same cache sets (power-of-two arena strides otherwise map every
+// core's hot lines onto identical L2 sets — real heap placement is not
+// that aligned).
+func ArenaFor(id int, size uint64) Arena {
+	const skew = 37 * mem.LineBytes
+	return Arena{Base: mem.Addr(uint64(id)*size + uint64(id)*skew), Size: size}
+}
+
+// LogBase returns the address of the undo-log region.
+func (a Arena) LogBase() mem.Addr { return a.Base }
+
+// HeapBase returns the first allocatable heap address.
+func (a Arena) HeapBase() mem.Addr { return a.Base + LogRegionBytes }
+
+// End returns one past the arena's last byte.
+func (a Arena) End() mem.Addr { return a.Base + mem.Addr(a.Size) }
+
+// Contains reports whether [addr, addr+n) lies inside the arena.
+func (a Arena) Contains(addr mem.Addr, n uint64) bool {
+	return addr >= a.Base && uint64(addr)+n <= uint64(a.End())
+}
+
+func (a Arena) slot(i int) mem.Addr {
+	return a.LogBase() + mem.Addr(i*LogSlotBytes)
+}
+
+// Runtime executes workload code functionally and records the trace.
+type Runtime struct {
+	arena  Arena
+	space  *mem.Space
+	tr     *trace.Trace
+	brk    mem.Addr // bump allocator cursor
+	slot   int      // next log slot (round robin)
+	inTx   bool
+	legacy bool
+	mode   TxMode
+}
+
+// NewRuntime returns a runtime over a fresh space for the given arena.
+func NewRuntime(a Arena) *Runtime {
+	return &Runtime{arena: a, space: mem.NewSpace(), tr: &trace.Trace{}, brk: a.HeapBase()}
+}
+
+// Trace returns the recorded operation stream.
+func (rt *Runtime) Trace() *trace.Trace { return rt.tr }
+
+// Space returns the functional plaintext memory.
+func (rt *Runtime) Space() *mem.Space { return rt.space }
+
+// Arena returns the runtime's arena.
+func (rt *Runtime) Arena() Arena { return rt.arena }
+
+// SetLegacy switches the runtime to legacy persistency mode: software
+// written for an unencrypted NVMM, unaware of counters. CounterAtomic
+// stores degrade to plain stores and counter_cache_writeback() calls are
+// not emitted at all — the primitives simply do not exist in legacy
+// persistency models. Running legacy traces on an encrypted system
+// reproduces the paper's §2.2 motivating failure.
+func (rt *Runtime) SetLegacy(v bool) { rt.legacy = v }
+
+// Legacy reports whether legacy mode is on.
+func (rt *Runtime) Legacy() bool { return rt.legacy }
+
+// SetTxMode selects undo or redo logging for subsequent transactions.
+func (rt *Runtime) SetTxMode(m TxMode) { rt.mode = m }
+
+// TxMode returns the active transaction mechanism.
+func (rt *Runtime) TxMode() TxMode { return rt.mode }
+
+// Alloc reserves n bytes of persistent heap, line-aligned, and returns the
+// address. It panics if the arena is exhausted (a workload sizing bug).
+func (rt *Runtime) Alloc(n uint64) mem.Addr {
+	addr := rt.brk
+	sz := (n + mem.LineBytes - 1) &^ (mem.LineBytes - 1)
+	rt.brk += mem.Addr(sz)
+	if rt.brk > rt.arena.End() {
+		panic(fmt.Sprintf("persist: arena exhausted allocating %d bytes", n))
+	}
+	return addr
+}
+
+// AllocLines reserves n whole cache lines.
+func (rt *Runtime) AllocLines(n int) mem.Addr {
+	return rt.Alloc(uint64(n) * mem.LineBytes)
+}
+
+// HeapUsed returns the bytes allocated so far.
+func (rt *Runtime) HeapUsed() uint64 { return uint64(rt.brk - rt.arena.HeapBase()) }
+
+// ---------------------------------------------------------------------------
+// Raw (untransactional) operations
+
+// forEachLine visits each line overlapped by [addr, addr+n).
+func forEachLine(addr mem.Addr, n int, fn func(line mem.Addr)) {
+	for l := addr.LineAddr(); l < addr+mem.Addr(n); l += mem.LineBytes {
+		fn(l)
+	}
+}
+
+// Load reads n bytes, recording one Read per touched line.
+func (rt *Runtime) Load(addr mem.Addr, n int) []byte {
+	forEachLine(addr, n, func(l mem.Addr) {
+		rt.tr.Append(trace.Op{Kind: trace.Read, Addr: l})
+	})
+	return rt.space.ReadBytes(addr, n)
+}
+
+// LoadUint64 reads a little-endian uint64.
+func (rt *Runtime) LoadUint64(addr mem.Addr) uint64 {
+	return binary.LittleEndian.Uint64(rt.Load(addr, 8))
+}
+
+// Store writes b at addr, recording one Write per touched line carrying the
+// full post-store line image.
+func (rt *Runtime) Store(addr mem.Addr, b []byte) { rt.store(addr, b, false) }
+
+// StoreCounterAtomic writes b at addr with the CounterAtomic annotation:
+// the writeback of these lines must persist data and counter atomically.
+func (rt *Runtime) StoreCounterAtomic(addr mem.Addr, b []byte) { rt.store(addr, b, true) }
+
+func (rt *Runtime) store(addr mem.Addr, b []byte, ca bool) {
+	if rt.legacy {
+		ca = false
+	}
+	rt.space.WriteBytes(addr, b)
+	forEachLine(addr, len(b), func(l mem.Addr) {
+		rt.tr.Append(trace.Op{Kind: trace.Write, Addr: l, Line: rt.space.ReadLine(l), CounterAtomic: ca})
+	})
+}
+
+// StoreUint64 writes v little-endian at addr.
+func (rt *Runtime) StoreUint64(addr mem.Addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	rt.Store(addr, b[:])
+}
+
+// StoreUint64CounterAtomic writes v with the CounterAtomic annotation.
+func (rt *Runtime) StoreUint64CounterAtomic(addr mem.Addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	rt.StoreCounterAtomic(addr, b[:])
+}
+
+// Clwb writes back the lines covering [addr, addr+n).
+func (rt *Runtime) Clwb(addr mem.Addr, n int) {
+	forEachLine(addr, n, func(l mem.Addr) {
+		rt.tr.Append(trace.Op{Kind: trace.Clwb, Addr: l})
+	})
+}
+
+// CCWB issues counter_cache_writeback() for every counter line covering
+// [addr, addr+n). Eight data lines share a counter line, so this coalesces
+// naturally.
+func (rt *Runtime) CCWB(addr mem.Addr, n int) {
+	if rt.legacy {
+		return // the primitive does not exist pre-paper
+	}
+	seen := make(map[mem.Addr]bool)
+	forEachLine(addr, n, func(l mem.Addr) {
+		group := l.LineAddr() &^ (8*mem.LineBytes - 1) // counter-line group
+		if !seen[group] {
+			seen[group] = true
+			rt.tr.Append(trace.Op{Kind: trace.CCWB, Addr: l})
+		}
+	})
+}
+
+// Fence emits a persist_barrier's sfence: all prior clwb/ccwb complete
+// before execution proceeds.
+func (rt *Runtime) Fence() { rt.tr.Append(trace.Op{Kind: trace.Sfence}) }
+
+// PersistBarrier is the composite primitive: write back the lines of
+// [addr, addr+n), their counters, and fence.
+func (rt *Runtime) PersistBarrier(addr mem.Addr, n int) {
+	rt.Clwb(addr, n)
+	rt.CCWB(addr, n)
+	rt.Fence()
+}
+
+// Compute models n core cycles of non-memory work.
+func (rt *Runtime) Compute(cycles uint32) {
+	if cycles > 0 {
+		rt.tr.Append(trace.Op{Kind: trace.Compute, Cycles: cycles})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Undo-log transactions
+
+// Tx is one open transaction. Stores are applied to the space immediately
+// (reads inside the transaction see them) while the old values are
+// captured for the undo log; the staged trace — prepare, mutate, commit —
+// is emitted when the transaction closes.
+type Tx struct {
+	rt     *Runtime
+	lines  []mem.Addr            // backed-up lines, in first-touch order
+	old    map[mem.Addr]mem.Line // pre-transaction contents per line
+	stores []trace.Op            // mutate-stage Write ops, in program order
+}
+
+// Tx runs fn inside an undo-logged transaction. It panics on nesting
+// (workload bug); the paper's model is one transaction per thread.
+func (rt *Runtime) Tx(fn func(tx *Tx)) {
+	if rt.inTx {
+		panic("persist: nested transaction")
+	}
+	rt.inTx = true
+	defer func() { rt.inTx = false }()
+
+	rt.tr.Append(trace.Op{Kind: trace.TxBegin})
+	tx := &Tx{rt: rt, old: make(map[mem.Addr]mem.Line)}
+	fn(tx)
+	tx.close()
+	rt.tr.Append(trace.Op{Kind: trace.TxEnd})
+}
+
+// Load reads inside the transaction (sees earlier tx stores).
+func (tx *Tx) Load(addr mem.Addr, n int) []byte { return tx.rt.Load(addr, n) }
+
+// LoadUint64 reads a uint64 inside the transaction.
+func (tx *Tx) LoadUint64(addr mem.Addr) uint64 { return tx.rt.LoadUint64(addr) }
+
+// Store performs a logged in-place write: the full old contents of every
+// line it touches join the undo log (prepare stage) and the new bytes are
+// applied now; the corresponding trace ops are emitted in stage order at
+// commit.
+func (tx *Tx) Store(addr mem.Addr, b []byte) {
+	if !tx.rt.arena.Contains(addr, uint64(len(b))) {
+		panic(fmt.Sprintf("persist: tx store outside arena: %#x+%d", addr, len(b)))
+	}
+	// Back up each touched line once. The read happens architecturally
+	// (the log write needs the old value), so it is traced.
+	forEachLine(addr, len(b), func(l mem.Addr) {
+		if _, done := tx.old[l]; done {
+			return
+		}
+		tx.rt.Load(l, mem.LineBytes)
+		tx.old[l] = tx.rt.space.ReadLine(l)
+		tx.lines = append(tx.lines, l)
+	})
+
+	// Apply functionally now; record the mutate-stage Write ops for
+	// later emission.
+	tx.rt.space.WriteBytes(addr, b)
+	forEachLine(addr, len(b), func(l mem.Addr) {
+		tx.stores = append(tx.stores, trace.Op{
+			Kind: trace.Write, Addr: l, Line: tx.rt.space.ReadLine(l),
+		})
+	})
+}
+
+// StoreUint64 is Store for a little-endian uint64.
+func (tx *Tx) StoreUint64(addr mem.Addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	tx.Store(addr, b[:])
+}
+
+// close emits the three transaction stages (prepare / mutate-or-apply /
+// commit). Undo mode logs the old line contents and mutates in place
+// under the log's protection; redo mode logs the new contents first and
+// applies them in place afterwards. Either way the valid flag's two
+// CounterAtomic writes are the only writes that move the recoverable
+// version (Table 1).
+func (tx *Tx) close() {
+	rt := tx.rt
+	if len(tx.lines) == 0 {
+		return // read-only transaction
+	}
+	if len(tx.lines) > maxLogLines {
+		panic(fmt.Sprintf("persist: transaction touching %d lines exceeds log slot", len(tx.lines)))
+	}
+	slot := rt.arena.slot(rt.slot)
+	rt.slot = (rt.slot + 1) % LogSlots
+
+	kind := uint64(kindUndo)
+	if rt.mode == Redo {
+		kind = kindRedo
+	}
+
+	// --- Prepare: build the log entry. Undo backs up the old lines;
+	// redo stages the new ones.
+	rt.StoreUint64(slot+slotHeaderOff, uint64(len(tx.lines)))
+	for i, l := range tx.lines {
+		rt.StoreUint64(slot+slotTableOff+mem.Addr(i*8), uint64(l))
+		payload := tx.old[l]
+		if rt.mode == Redo {
+			payload = rt.space.ReadLine(l) // post-transaction contents
+		}
+		rt.Store(slot+slotDataOff+mem.Addr(i*mem.LineBytes), payload[:])
+	}
+	payload := slotDataOff + len(tx.lines)*mem.LineBytes
+	rt.Clwb(slot, payload)
+	rt.CCWB(slot, payload)
+	rt.Fence()
+	// Valid flag (and mechanism kind, same line): the write that makes
+	// the log entry recoverable. It must be CounterAtomic — if its data
+	// persisted without its counter the flag would decrypt to garbage
+	// on recovery (§4.3).
+	var validWord [16]byte
+	binary.LittleEndian.PutUint64(validWord[0:8], validMagic)
+	binary.LittleEndian.PutUint64(validWord[8:16], kind)
+	rt.StoreCounterAtomic(slot+slotValidOff, validWord[:])
+	rt.Clwb(slot+slotValidOff, 16)
+	rt.Fence()
+
+	// --- Mutate (undo) / Apply (redo): in-place updates; the log entry
+	// makes them safe in both directions.
+	touched := make(map[mem.Addr]bool)
+	for _, op := range tx.stores {
+		rt.tr.Append(op)
+		touched[op.Addr] = true
+	}
+	for _, op := range tx.stores { // clwb once per line, in first-touch order
+		if touched[op.Addr] {
+			touched[op.Addr] = false
+			rt.tr.Append(trace.Op{Kind: trace.Clwb, Addr: op.Addr})
+		}
+	}
+	for _, l := range tx.lines {
+		rt.CCWB(l, mem.LineBytes)
+	}
+	rt.Fence()
+
+	// --- Commit: invalidate the log entry; the in-place data is now the
+	// (only) consistent version. CounterAtomic for the same reason as
+	// above.
+	rt.StoreUint64CounterAtomic(slot+slotValidOff, 0)
+	rt.Clwb(slot+slotValidOff, 8)
+	rt.Fence()
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+// RecoveryReport summarizes one arena's post-crash recovery.
+type RecoveryReport struct {
+	ValidEntries  int // log entries found valid and replayed
+	RolledBack    int // undo entries (old values restored)
+	RolledForward int // redo entries (new values applied)
+	Corrupt       int // valid entries whose contents failed sanity checks
+}
+
+// Recover scans the arena's log in the given (post-crash, decrypted)
+// space and replays every valid entry: an undo entry restores the
+// pre-transaction lines, a redo entry applies the staged new lines — the
+// copy-back mechanics are identical, only the payload's meaning differs. Entries whose valid flag is not exactly the magic value are
+// treated as invalid — including flags garbled by counter/data mismatch,
+// which is precisely how an encrypted system silently loses a backup. A
+// valid entry with implausible contents (backed-up lines outside the
+// arena, unaligned addresses) is counted as corrupt and skipped: applying
+// it would spray garbage.
+func Recover(space *mem.Space, a Arena) RecoveryReport {
+	var rep RecoveryReport
+	for i := 0; i < LogSlots; i++ {
+		slot := a.slot(i)
+		if space.ReadUint64(slot+slotValidOff) != validMagic {
+			continue
+		}
+		rep.ValidEntries++
+		switch space.ReadUint64(slot + slotKindOff) {
+		case kindRedo:
+			rep.RolledForward++
+		default:
+			rep.RolledBack++
+		}
+		n := space.ReadUint64(slot + slotHeaderOff)
+		if n == 0 || n > maxLogLines {
+			rep.Corrupt++
+			continue
+		}
+		lines := make([]mem.Addr, 0, n)
+		ok := true
+		for j := uint64(0); j < n; j++ {
+			addr := mem.Addr(space.ReadUint64(slot + slotTableOff + mem.Addr(j*8)))
+			if addr.LineOffset() != 0 || !a.Contains(addr, mem.LineBytes) {
+				ok = false
+				break
+			}
+			lines = append(lines, addr)
+		}
+		if !ok {
+			rep.Corrupt++
+			continue
+		}
+		for j, l := range lines {
+			old := space.ReadBytes(slot+slotDataOff+mem.Addr(j*mem.LineBytes), mem.LineBytes)
+			space.WriteBytes(l, old)
+		}
+		// Invalidate so a second recovery pass is idempotent.
+		space.WriteUint64(slot+slotValidOff, 0)
+	}
+	return rep
+}

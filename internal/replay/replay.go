@@ -1,0 +1,436 @@
+// Package replay executes per-core operation traces against a timed model
+// of the full machine: private L1 caches, a shared L2, the encrypted
+// memory controller, and the PCM device. One trace set can be replayed
+// under any of the six designs, which is how every figure in the paper is
+// regenerated from identical work.
+//
+// Core model: loads block until data is available; stores update the cache
+// hierarchy immediately (a store buffer hides allocation latency); clwb
+// and counter_cache_writeback are non-blocking but tracked, and sfence
+// blocks until all of the core's tracked writebacks are accepted as
+// persistent (Intel ADR semantics, §2.1/§6.1 of the paper).
+package replay
+
+import (
+	"fmt"
+	"sort"
+
+	"encnvm/internal/cache"
+	"encnvm/internal/config"
+	"encnvm/internal/mem"
+	"encnvm/internal/memctrl"
+	"encnvm/internal/nvm"
+	"encnvm/internal/sim"
+	"encnvm/internal/stats"
+	"encnvm/internal/trace"
+)
+
+// System is one simulated machine mid-replay.
+type System struct {
+	Eng *sim.Engine
+	Cfg *config.Config
+	St  *stats.Stats
+	Dev *nvm.Device
+	MC  *memctrl.Controller
+
+	l2    *cache.Cache
+	cores []*core
+
+	// plain is the replay-time plaintext program image, updated in
+	// program order per core as store ops execute.
+	plain *mem.Space
+	// caLine marks lines whose most recent store targeted a
+	// CounterAtomic variable; their writebacks use the CA protocol.
+	caLine map[mem.Addr]bool
+
+	finished int
+	flushed  bool
+	// firstTx is when the first TxBegin retired on any core; the
+	// measured phase of a run (the paper's methodology) excludes the
+	// setup that precedes it.
+	firstTx    sim.Time
+	firstTxSet bool
+}
+
+// core is one replaying hardware thread.
+type core struct {
+	sys *System
+	id  int
+	l1  *cache.Cache
+	tr  *trace.Trace
+	pc  int
+
+	outstanding int      // tracked clwb/ccwb writebacks not yet accepted
+	fenceWait   bool     // blocked in sfence until outstanding == 0
+	fenceStart  sim.Time // when the current fence began blocking
+	done        bool
+	doneAt      sim.Time
+	txEnds      []sim.Time // completion time of each transaction
+}
+
+// New builds a system that will replay one trace per core. len(traces)
+// must equal cfg.NumCores.
+func New(cfg *config.Config, traces []*trace.Trace) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(traces) != cfg.NumCores {
+		return nil, fmt.Errorf("replay: %d traces for %d cores", len(traces), cfg.NumCores)
+	}
+	eng := sim.New()
+	st := stats.New()
+	dev := nvm.New(eng, cfg, st)
+	sys := &System{
+		Eng:    eng,
+		Cfg:    cfg,
+		St:     st,
+		Dev:    dev,
+		MC:     memctrl.New(eng, cfg, dev, st),
+		l2:     cache.New(cfg.L2),
+		plain:  mem.NewSpace(),
+		caLine: make(map[mem.Addr]bool),
+	}
+	for i, tr := range traces {
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("replay: core %d: %w", i, err)
+		}
+		sys.cores = append(sys.cores, &core{
+			sys: sys, id: i, l1: cache.New(cfg.L1), tr: tr,
+		})
+	}
+	return sys, nil
+}
+
+// Plain returns the replay-time plaintext image (the program's view).
+func (s *System) Plain() *mem.Space { return s.plain }
+
+// Start schedules every core's first step at t=0.
+func (s *System) Start() {
+	for _, c := range s.cores {
+		c := c
+		s.Eng.Schedule(0, c.step)
+	}
+}
+
+// Run replays all traces to completion, flushes the cache hierarchy and
+// counter cache so the final NVM image is complete, and returns the
+// runtime: the instant the last core retired its last operation (flush
+// time excluded, as in the paper's run-to-completion methodology).
+func (s *System) Run() sim.Time {
+	s.Start()
+	s.Eng.Run()
+	runtime := s.RuntimeSoFar()
+	s.flush()
+	s.Eng.Run()
+	if s.MC.PendingWork() != 0 {
+		panic("replay: controller work left after full drain")
+	}
+	return runtime
+}
+
+// RunUntil replays until the simulated deadline and returns the time
+// reached — the crash-injection entry point. No flush happens; the caller
+// owns ADR draining.
+func (s *System) RunUntil(deadline sim.Time) sim.Time {
+	s.Start()
+	return s.Eng.RunUntil(deadline)
+}
+
+// RuntimeSoFar returns the latest core-retire time observed.
+func (s *System) RuntimeSoFar() sim.Time {
+	var max sim.Time
+	for _, c := range s.cores {
+		if c.doneAt > max {
+			max = c.doneAt
+		}
+	}
+	return max
+}
+
+// MeasuredRuntime returns the duration of the transaction phase: from the
+// first TxBegin retired on any core to the last core's retire time. Runs
+// without transactions fall back to the full runtime.
+func (s *System) MeasuredRuntime() sim.Time {
+	rt := s.RuntimeSoFar()
+	if !s.firstTxSet || s.firstTx > rt {
+		return rt
+	}
+	return rt - s.firstTx
+}
+
+// Transactions returns the total completed transactions across cores.
+func (s *System) Transactions() int {
+	n := 0
+	for _, c := range s.cores {
+		n += len(c.txEnds)
+	}
+	return n
+}
+
+// Throughput returns completed transactions per simulated second of the
+// measured (transaction) phase.
+func (s *System) Throughput() float64 {
+	rt := s.MeasuredRuntime()
+	if rt == 0 {
+		return 0
+	}
+	return float64(s.Transactions()) / (float64(rt) / float64(sim.Second))
+}
+
+// flush writes every dirty line in the hierarchy and every dirty counter
+// back to NVM so the image is self-consistent for functional checks.
+func (s *System) flush() {
+	if s.flushed {
+		return
+	}
+	s.flushed = true
+	dirty := make(map[mem.Addr]bool)
+	for _, c := range s.cores {
+		for _, a := range c.l1.CleanAll() {
+			dirty[a] = true
+		}
+	}
+	for _, a := range s.l2.CleanAll() {
+		dirty[a] = true
+	}
+	lines := make([]mem.Addr, 0, len(dirty))
+	for a := range dirty {
+		lines = append(lines, a)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+
+	// Pace the writebacks with a bounded window so a multi-megabyte
+	// dirty set does not flood the controller's accept queue at a
+	// single instant (the flush is outside the measured runtime).
+	const flushWindow = 64
+	next, inFlight := 0, 0
+	var pump func()
+	pump = func() {
+		for inFlight < flushWindow && next < len(lines) {
+			a := lines[next]
+			next++
+			inFlight++
+			s.MC.Write(a, s.plain.ReadLine(a), s.caLine[a], func() {
+				inFlight--
+				pump()
+			})
+		}
+		if next == len(lines) && inFlight == 0 {
+			s.MC.FlushCounters(func() {})
+		}
+	}
+	s.Eng.Schedule(0, pump)
+}
+
+// ---------------------------------------------------------------------------
+// Core execution
+
+// maxBacklog is the writeback backpressure threshold: a core issuing new
+// work pauses while more than this many writes await controller
+// acceptance.
+const maxBacklog = 128
+
+// maxBatch bounds how much consecutive cache-hit work one event may retire
+// at once. Batched ops have zero memory-controller interaction, so the
+// timing is exact; the bound only caps how coarse cross-core interleaving
+// in the shared L2 may become.
+const maxBatch = 200 * sim.Nanosecond
+
+// step retires ops until the core blocks or the trace ends. Consecutive
+// ops that stay inside the cache hierarchy (hits, compute, transaction
+// markers) are retired in one event with their costs accumulated; any op
+// that touches the memory controller or can block re-enters step at the
+// accumulated time so its interactions happen at the right instant.
+func (c *core) step() {
+	if c.sys.MC.Backlog() > maxBacklog {
+		c.sys.St.Inc("core.backpressure_stalls", 1)
+		c.next(20 * sim.Nanosecond)
+		return
+	}
+	cfg := c.sys.Cfg
+	var acc sim.Time
+	for acc < maxBatch {
+		if c.pc >= c.tr.Len() {
+			if acc > 0 {
+				c.next(acc)
+				return
+			}
+			if !c.done {
+				c.done = true
+				c.doneAt = c.sys.Eng.Now()
+				c.sys.finished++
+			}
+			return
+		}
+		op := &c.tr.Ops[c.pc]
+		switch op.Kind {
+		case trace.Compute:
+			acc += sim.Time(op.Cycles) * cfg.CPUCycle
+			c.pc++
+			continue
+		case trace.Read:
+			if c.l1.Contains(op.Addr) {
+				c.l1.Access(op.Addr, false)
+				c.sys.St.Inc(stats.L1Hits, 1)
+				acc += cfg.L1.HitTime
+				c.pc++
+				continue
+			}
+		case trace.Write:
+			if c.l1.Contains(op.Addr) {
+				c.sys.plain.WriteLine(op.Addr.LineAddr(), op.Line)
+				c.sys.caLine[op.Addr.LineAddr()] = op.CounterAtomic
+				c.l1.Access(op.Addr, true)
+				c.sys.St.Inc(stats.L1Hits, 1)
+				acc += cfg.L1.HitTime
+				c.pc++
+				continue
+			}
+		case trace.TxBegin:
+			if !c.sys.firstTxSet {
+				c.sys.firstTxSet = true
+				c.sys.firstTx = c.sys.Eng.Now() + acc
+			}
+			c.pc++
+			continue
+		case trace.TxEnd:
+			c.txEnds = append(c.txEnds, c.sys.Eng.Now()+acc)
+			c.sys.St.Inc(stats.Transactions, 1)
+			c.pc++
+			continue
+		}
+		// Complex op: burn the accumulated time first so controller
+		// interactions happen at the correct instant.
+		break
+	}
+	if acc > 0 {
+		c.next(acc)
+		return
+	}
+
+	op := c.tr.Ops[c.pc]
+	c.pc++
+
+	switch op.Kind {
+	case trace.Read: // L1 miss (hits batched above)
+		c.read(op.Addr)
+
+	case trace.Write: // L1 miss
+		c.write(op)
+
+	case trace.Clwb:
+		c.clwb(op.Addr)
+
+	case trace.Sfence:
+		c.sys.St.Inc(stats.PersistBarriers, 1)
+		if c.outstanding == 0 {
+			c.next(cfg.CPUCycle)
+		} else {
+			c.fenceWait = true // resumed by writebackDone
+			c.fenceStart = c.sys.Eng.Now()
+		}
+
+	case trace.CCWB:
+		c.outstanding++
+		c.sys.MC.CounterWriteback(op.Addr, c.writebackDone)
+		c.next(cfg.CounterCache.HitTime)
+
+	default:
+		panic(fmt.Sprintf("replay: unknown op kind %v", op.Kind))
+	}
+}
+
+// next schedules the following op after the given delay.
+func (c *core) next(d sim.Time) { c.sys.Eng.Schedule(d, c.step) }
+
+// read services a load: L1, then L2, then a blocking memory fetch.
+func (c *core) read(addr mem.Addr) {
+	cfg := c.sys.Cfg
+	res := c.l1.Access(addr, false)
+	c.handleL1Victim(res)
+	if res.Hit {
+		c.sys.St.Inc(stats.L1Hits, 1)
+		c.next(cfg.L1.HitTime)
+		return
+	}
+	c.sys.St.Inc(stats.L1Misses, 1)
+	if c.l2Access(addr, false).Hit {
+		c.sys.St.Inc(stats.L2Hits, 1)
+		c.next(cfg.L1.HitTime + cfg.L2.HitTime)
+		return
+	}
+	c.sys.St.Inc(stats.L2Misses, 1)
+	c.sys.MC.Read(addr, func() { c.next(0) })
+}
+
+// write services a store: update the plaintext image and the hierarchy.
+func (c *core) write(op trace.Op) {
+	sys := c.sys
+	addr := op.Addr.LineAddr()
+	sys.plain.WriteLine(addr, op.Line)
+	sys.caLine[addr] = op.CounterAtomic
+
+	res := c.l1.Access(addr, true)
+	c.handleL1Victim(res)
+	if res.Hit {
+		sys.St.Inc(stats.L1Hits, 1)
+		c.next(sys.Cfg.L1.HitTime)
+		return
+	}
+	sys.St.Inc(stats.L1Misses, 1)
+	l2res := c.l2Access(addr, false)
+	if l2res.Hit {
+		sys.St.Inc(stats.L2Hits, 1)
+	} else {
+		sys.St.Inc(stats.L2Misses, 1)
+		// Write-allocate fill traffic; the store buffer hides its
+		// latency from the core.
+		sys.MC.Read(addr, func() {})
+	}
+	c.next(sys.Cfg.L1.HitTime + sys.Cfg.L2.HitTime)
+}
+
+// clwb pushes a dirty line to the memory controller without invalidating
+// it (Intel clwb). Clean or absent lines are no-ops.
+func (c *core) clwb(addr mem.Addr) {
+	sys := c.sys
+	line := addr.LineAddr()
+	d1 := c.l1.Clean(line)
+	d2 := sys.l2.Clean(line)
+	if d1 || d2 {
+		c.outstanding++
+		sys.St.Inc(stats.Clwbs, 1)
+		sys.MC.Write(line, sys.plain.ReadLine(line), sys.caLine[line], c.writebackDone)
+	}
+	c.next(sys.Cfg.L1.HitTime)
+}
+
+// writebackDone is the acceptance callback for tracked writebacks.
+func (c *core) writebackDone() {
+	c.outstanding--
+	if c.fenceWait && c.outstanding == 0 {
+		c.fenceWait = false
+		c.sys.St.AddTime("core.fence_wait", c.sys.Eng.Now()-c.fenceStart)
+		c.sys.St.Observe("core.fence_wait_each", c.sys.Eng.Now()-c.fenceStart)
+		c.next(c.sys.Cfg.CPUCycle)
+	}
+}
+
+// handleL1Victim spills a dirty L1 victim into the L2.
+func (c *core) handleL1Victim(res cache.AccessResult) {
+	if res.VictimValid && res.VictimDirty {
+		c.l2Access(res.Victim, true)
+	}
+}
+
+// l2Access touches the shared L2 and writes back any dirty L2 victim to
+// memory as a natural (non-tracked) eviction.
+func (c *core) l2Access(addr mem.Addr, write bool) cache.AccessResult {
+	sys := c.sys
+	res := sys.l2.Access(addr, write)
+	if res.VictimValid && res.VictimDirty {
+		v := res.Victim
+		sys.MC.Write(v, sys.plain.ReadLine(v), sys.caLine[v], nil)
+	}
+	return res
+}

@@ -1,0 +1,160 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Time is measured in picoseconds so that every latency in the evaluated
+// system configuration (Table 2 of the paper) is an exact integer: a 4GHz
+// CPU cycle is 250ps, a 533MHz memory cycle is 1876ps, and fractional
+// nanosecond parameters such as tWTR=7.5ns are representable without
+// rounding.
+//
+// Events scheduled for the same instant fire in the order they were
+// scheduled (FIFO tie-break), which makes every simulation fully
+// deterministic and therefore directly comparable across designs.
+package sim
+
+import "container/heap"
+
+// Time is a simulated instant or duration in picoseconds.
+type Time uint64
+
+// Convenient duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanoseconds reports t as a floating point number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // insertion order, breaks ties deterministically
+	fn  func()
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	steps   uint64
+}
+
+// New returns a fresh engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Schedule arranges for fn to run after delay. A zero delay runs fn on the
+// next event-loop step, after all currently-executing work, never inline.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// the final simulated time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.steps++
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline. Events beyond the
+// deadline remain queued. It returns the final simulated time, which never
+// exceeds deadline.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.steps++
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Stop halts Run after the currently-executing event returns. Pending events
+// stay queued so a subsequent Run resumes where the engine left off.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Resource models a unit-capacity shared resource (a bus, a bank, an
+// encryption pipeline slot) using timestamp reservation: a request occupies
+// the resource for a duration starting no earlier than both the requested
+// start time and the time the resource frees up.
+type Resource struct {
+	freeAt Time
+	busy   Time // total occupied time, for utilization stats
+}
+
+// Reserve books the resource for dur starting at or after earliest. It
+// returns the actual [start, end) of the reservation.
+func (r *Resource) Reserve(earliest Time, dur Time) (start, end Time) {
+	start = earliest
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end = start + dur
+	r.freeAt = end
+	r.busy += dur
+	return start, end
+}
+
+// FreeAt returns the time at which the resource next becomes free.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// BusyTime returns the total time the resource has been occupied.
+func (r *Resource) BusyTime() Time { return r.busy }

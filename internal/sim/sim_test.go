@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Nanosecond != 1000*Picosecond {
+		t.Fatalf("Nanosecond = %d", Nanosecond)
+	}
+	if Second != 1e12 {
+		t.Fatalf("Second = %d", Second)
+	}
+	if got := (7*Nanosecond + 500*Picosecond).Nanoseconds(); got != 7.5 {
+		t.Fatalf("Nanoseconds() = %v, want 7.5", got)
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("end = %d, want 30", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var times []Time
+	e.Schedule(10, func() {
+		times = append(times, e.Now())
+		e.Schedule(5, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestZeroDelayRunsAfterCurrent(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(10, func() {
+		e.Schedule(0, func() { order = append(order, 2) })
+		order = append(order, 1)
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	ran := 0
+	for i := 1; i <= 5; i++ {
+		e.Schedule(Time(i*10), func() {
+			ran++
+			if ran == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("ran = %d events before stop, want 2", ran)
+	}
+	if e.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", e.Pending())
+	}
+	// Resuming processes the rest.
+	e.Run()
+	if ran != 5 || e.Pending() != 0 {
+		t.Fatalf("after resume ran=%d pending=%d", ran, e.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	now := e.RunUntil(25)
+	if now != 25 {
+		t.Fatalf("RunUntil returned %d, want 25", now)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want events at 10,20", fired)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("after full run fired = %v", fired)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := New()
+	if now := e.RunUntil(500); now != 500 {
+		t.Fatalf("idle RunUntil = %d, want 500", now)
+	}
+	if e.Now() != 500 {
+		t.Fatalf("Now = %d, want 500", e.Now())
+	}
+}
+
+func TestSteps(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.Steps() != 7 {
+		t.Fatalf("steps = %d, want 7", e.Steps())
+	}
+}
+
+// Property: regardless of the (possibly duplicated, unsorted) delays chosen,
+// the engine fires events in nondecreasing time order and ends at the max.
+func TestPropertyMonotonicTime(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		var fired []Time
+		var max Time
+		for _, d := range delays {
+			d := Time(d)
+			if d > max {
+				max = d
+			}
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || e.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceReserve(t *testing.T) {
+	var r Resource
+	s, e := r.Reserve(100, 50)
+	if s != 100 || e != 150 {
+		t.Fatalf("first reserve = [%d,%d)", s, e)
+	}
+	// Earlier request queues behind the existing reservation.
+	s, e = r.Reserve(120, 30)
+	if s != 150 || e != 180 {
+		t.Fatalf("second reserve = [%d,%d), want [150,180)", s, e)
+	}
+	// A request after the resource frees starts immediately.
+	s, e = r.Reserve(1000, 10)
+	if s != 1000 || e != 1010 {
+		t.Fatalf("third reserve = [%d,%d)", s, e)
+	}
+	if r.BusyTime() != 90 {
+		t.Fatalf("busy = %d, want 90", r.BusyTime())
+	}
+	if r.FreeAt() != 1010 {
+		t.Fatalf("freeAt = %d, want 1010", r.FreeAt())
+	}
+}
+
+// Property: reservations never overlap and each starts no earlier than
+// requested.
+func TestPropertyResourceNoOverlap(t *testing.T) {
+	f := func(reqs []struct {
+		Earliest uint16
+		Dur      uint8
+	}) bool {
+		var r Resource
+		var prevEnd Time
+		for _, q := range reqs {
+			dur := Time(q.Dur) + 1
+			s, e := r.Reserve(Time(q.Earliest), dur)
+			if s < Time(q.Earliest) || e != s+dur || s < prevEnd {
+				return false
+			}
+			prevEnd = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

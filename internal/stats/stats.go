@@ -1,0 +1,214 @@
+// Package stats collects simulation statistics: event counters, byte
+// counters, and latency distributions. A single Stats value is shared by
+// the components of one simulated system; the experiment harness reads it
+// after the run to produce the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"encnvm/internal/sim"
+)
+
+// Stats aggregates all measurements of one simulation run.
+type Stats struct {
+	counters map[string]uint64
+	times    map[string]sim.Time
+	lat      map[string]*Latency
+}
+
+// New returns an empty Stats.
+func New() *Stats {
+	return &Stats{
+		counters: make(map[string]uint64),
+		times:    make(map[string]sim.Time),
+		lat:      make(map[string]*Latency),
+	}
+}
+
+// Well-known counter names used across the simulator. Keeping them in one
+// place prevents typo-divergence between producers and the harness.
+const (
+	// Memory traffic.
+	DataBytesWritten    = "nvm.data_bytes_written"
+	CounterBytesWritten = "nvm.counter_bytes_written"
+	BytesRead           = "nvm.bytes_read"
+	DataWrites          = "nvm.data_writes"
+	CounterWrites       = "nvm.counter_writes"
+	Reads               = "nvm.reads"
+
+	// Caches.
+	L1Hits           = "l1.hits"
+	L1Misses         = "l1.misses"
+	L2Hits           = "l2.hits"
+	L2Misses         = "l2.misses"
+	CounterCacheHits = "ctrcache.hits"
+	CounterCacheMiss = "ctrcache.misses"
+	CounterCacheWB   = "ctrcache.writebacks"
+
+	// Controller behaviour.
+	CAWrites          = "mc.counter_atomic_writes"
+	NonCAWrites       = "mc.regular_writes"
+	ReadyBitWaits     = "mc.ready_bit_waits"
+	WriteQueueStalls  = "mc.write_queue_full_stalls"
+	CoalescedWrites   = "mc.coalesced_writes"
+	CoalescedCounters = "mc.coalesced_counter_writes"
+
+	// Software events.
+	Transactions    = "sw.transactions"
+	PersistBarriers = "sw.persist_barriers"
+	Clwbs           = "sw.clwbs"
+	CCWBs           = "sw.counter_cache_writebacks"
+)
+
+// Inc adds delta to the named counter.
+func (s *Stats) Inc(name string, delta uint64) { s.counters[name] += delta }
+
+// Count returns the named counter (zero if never incremented).
+func (s *Stats) Count(name string) uint64 { return s.counters[name] }
+
+// AddTime accumulates simulated time into a named bucket (e.g. stall time).
+func (s *Stats) AddTime(name string, d sim.Time) { s.times[name] += d }
+
+// Time returns the named accumulated time.
+func (s *Stats) Time(name string) sim.Time { return s.times[name] }
+
+// Observe records one latency sample into the named distribution.
+func (s *Stats) Observe(name string, d sim.Time) {
+	l, ok := s.lat[name]
+	if !ok {
+		l = &Latency{min: ^sim.Time(0)}
+		s.lat[name] = l
+	}
+	l.add(d)
+}
+
+// Latency returns the named latency distribution, or nil if no samples were
+// recorded.
+func (s *Stats) Latency(name string) *Latency { return s.lat[name] }
+
+// HitRate returns hits/(hits+misses) for a pair of counters, or 0 when no
+// accesses were recorded.
+func (s *Stats) HitRate(hits, misses string) float64 {
+	h, m := s.counters[hits], s.counters[misses]
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// TotalBytesWritten returns all NVM write traffic (data + counters).
+func (s *Stats) TotalBytesWritten() uint64 {
+	return s.counters[DataBytesWritten] + s.counters[CounterBytesWritten]
+}
+
+// Merge adds every measurement of other into s. Latency distributions merge
+// by sample aggregation.
+func (s *Stats) Merge(other *Stats) {
+	for k, v := range other.counters {
+		s.counters[k] += v
+	}
+	for k, v := range other.times {
+		s.times[k] += v
+	}
+	for k, v := range other.lat {
+		l, ok := s.lat[k]
+		if !ok {
+			l = &Latency{min: ^sim.Time(0)}
+			s.lat[k] = l
+		}
+		l.merge(v)
+	}
+}
+
+// String renders all measurements sorted by name, for logs and the CLI.
+func (s *Stats) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-40s %12d\n", k, s.counters[k])
+	}
+	names = names[:0]
+	for k := range s.times {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-40s %12.1f ns\n", k, s.times[k].Nanoseconds())
+	}
+	names = names[:0]
+	for k := range s.lat {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		l := s.lat[k]
+		fmt.Fprintf(&b, "%-40s n=%d avg=%.1fns min=%.1fns max=%.1fns\n",
+			k, l.Count(), l.Mean().Nanoseconds(), l.Min().Nanoseconds(), l.Max().Nanoseconds())
+	}
+	return b.String()
+}
+
+// Latency is a streaming latency distribution (count/sum/min/max).
+type Latency struct {
+	n   uint64
+	sum sim.Time
+	min sim.Time
+	max sim.Time
+}
+
+func (l *Latency) add(d sim.Time) {
+	l.n++
+	l.sum += d
+	if d < l.min {
+		l.min = d
+	}
+	if d > l.max {
+		l.max = d
+	}
+}
+
+func (l *Latency) merge(o *Latency) {
+	if o.n == 0 {
+		return
+	}
+	l.n += o.n
+	l.sum += o.sum
+	if o.min < l.min {
+		l.min = o.min
+	}
+	if o.max > l.max {
+		l.max = o.max
+	}
+}
+
+// Count returns the number of samples.
+func (l *Latency) Count() uint64 { return l.n }
+
+// Mean returns the average sample, or 0 with no samples.
+func (l *Latency) Mean() sim.Time {
+	if l.n == 0 {
+		return 0
+	}
+	return l.sum / sim.Time(l.n)
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (l *Latency) Min() sim.Time {
+	if l.n == 0 {
+		return 0
+	}
+	return l.min
+}
+
+// Max returns the largest sample.
+func (l *Latency) Max() sim.Time { return l.max }
+
+// Sum returns the total of all samples.
+func (l *Latency) Sum() sim.Time { return l.sum }

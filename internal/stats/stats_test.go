@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"encnvm/internal/sim"
+)
+
+func TestCounters(t *testing.T) {
+	s := New()
+	if s.Count(DataWrites) != 0 {
+		t.Fatal("fresh counter nonzero")
+	}
+	s.Inc(DataWrites, 3)
+	s.Inc(DataWrites, 4)
+	if got := s.Count(DataWrites); got != 7 {
+		t.Fatalf("count = %d, want 7", got)
+	}
+}
+
+func TestTimes(t *testing.T) {
+	s := New()
+	s.AddTime("stall", 100*sim.Nanosecond)
+	s.AddTime("stall", 50*sim.Nanosecond)
+	if got := s.Time("stall"); got != 150*sim.Nanosecond {
+		t.Fatalf("time = %v", got)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	s := New()
+	if s.HitRate(L1Hits, L1Misses) != 0 {
+		t.Fatal("empty hit rate nonzero")
+	}
+	s.Inc(L1Hits, 3)
+	s.Inc(L1Misses, 1)
+	if got := s.HitRate(L1Hits, L1Misses); got != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", got)
+	}
+}
+
+func TestLatencyDistribution(t *testing.T) {
+	s := New()
+	if s.Latency("x") != nil {
+		t.Fatal("nonexistent latency non-nil")
+	}
+	for _, d := range []sim.Time{10, 20, 30} {
+		s.Observe("x", d)
+	}
+	l := s.Latency("x")
+	if l.Count() != 3 || l.Mean() != 20 || l.Min() != 10 || l.Max() != 30 || l.Sum() != 60 {
+		t.Fatalf("latency = n%d mean%d min%d max%d sum%d", l.Count(), l.Mean(), l.Min(), l.Max(), l.Sum())
+	}
+}
+
+func TestEmptyLatencyAccessors(t *testing.T) {
+	var l Latency
+	if l.Mean() != 0 || l.Min() != 0 || l.Max() != 0 {
+		t.Fatal("empty latency accessors nonzero")
+	}
+}
+
+func TestTotalBytesWritten(t *testing.T) {
+	s := New()
+	s.Inc(DataBytesWritten, 640)
+	s.Inc(CounterBytesWritten, 64)
+	if got := s.TotalBytesWritten(); got != 704 {
+		t.Fatalf("total = %d", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Inc(Reads, 5)
+	b.Inc(Reads, 7)
+	b.Inc(DataWrites, 2)
+	a.AddTime("stall", 10)
+	b.AddTime("stall", 20)
+	a.Observe("lat", 100)
+	b.Observe("lat", 300)
+	b.Observe("other", 50)
+	a.Merge(b)
+	if a.Count(Reads) != 12 || a.Count(DataWrites) != 2 {
+		t.Fatalf("merged counters wrong: %d %d", a.Count(Reads), a.Count(DataWrites))
+	}
+	if a.Time("stall") != 30 {
+		t.Fatalf("merged time = %d", a.Time("stall"))
+	}
+	l := a.Latency("lat")
+	if l.Count() != 2 || l.Min() != 100 || l.Max() != 300 {
+		t.Fatalf("merged latency wrong")
+	}
+	if a.Latency("other").Count() != 1 {
+		t.Fatal("merge did not copy new distribution")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New()
+	s.Inc(Reads, 1)
+	s.AddTime("stall", 1500)
+	s.Observe("lat", 42)
+	out := s.String()
+	for _, want := range []string{Reads, "stall", "lat"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: merging two stats preserves counter totals, and latency
+// min/max/count behave like the combined sample set.
+func TestPropertyMergeEquivalence(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		whole, a, b := New(), New(), New()
+		for _, x := range xs {
+			a.Inc("c", uint64(x))
+			a.Observe("l", sim.Time(x))
+			whole.Inc("c", uint64(x))
+			whole.Observe("l", sim.Time(x))
+		}
+		for _, y := range ys {
+			b.Inc("c", uint64(y))
+			b.Observe("l", sim.Time(y))
+			whole.Inc("c", uint64(y))
+			whole.Observe("l", sim.Time(y))
+		}
+		a.Merge(b)
+		if a.Count("c") != whole.Count("c") {
+			return false
+		}
+		la, lw := a.Latency("l"), whole.Latency("l")
+		if (la == nil) != (lw == nil) {
+			return false
+		}
+		if la == nil {
+			return true
+		}
+		return la.Count() == lw.Count() && la.Min() == lw.Min() &&
+			la.Max() == lw.Max() && la.Sum() == lw.Sum()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package trace defines the per-core operation stream produced by the
+// software stack and consumed by the timing replay engine.
+//
+// The simulator is execution-driven in two phases: a workload first runs
+// functionally against the persist runtime, which records every load,
+// store, clwb, sfence, counter_cache_writeback and compute gap into a
+// Trace; the replay engine then executes the same trace under any of the
+// six evaluated designs. One trace, many designs — the controlled
+// comparison the paper's figures need.
+package trace
+
+import (
+	"fmt"
+
+	"encnvm/internal/mem"
+)
+
+// Kind identifies an operation.
+type Kind int
+
+const (
+	// Read is a load; the issuing core blocks until data returns.
+	Read Kind = iota
+	// Write is a store. It carries the full 64B line contents after the
+	// store so replay can reconstruct the plaintext image in program
+	// order. CounterAtomic marks stores to CounterAtomic variables.
+	Write
+	// Clwb writes the line back toward memory without invalidating it.
+	Clwb
+	// Sfence blocks the core until all previously issued clwbs and
+	// counter-cache writebacks are accepted as persistent.
+	Sfence
+	// CCWB is the paper's counter_cache_writeback(addr) primitive: write
+	// back the dirty counter-cache line covering addr (§4.3).
+	CCWB
+	// Compute models non-memory work as a fixed number of core cycles.
+	Compute
+	// TxBegin and TxEnd bracket one transaction, for throughput
+	// accounting. They cost nothing.
+	TxBegin
+	TxEnd
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Clwb:
+		return "clwb"
+	case Sfence:
+		return "sfence"
+	case CCWB:
+		return "ccwb"
+	case Compute:
+		return "compute"
+	case TxBegin:
+		return "txbegin"
+	case TxEnd:
+		return "txend"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Op is one traced operation.
+type Op struct {
+	Kind          Kind
+	Addr          mem.Addr // Read/Write/Clwb/CCWB: target address
+	Line          mem.Line // Write: full line contents after the store
+	CounterAtomic bool     // Write: store to a CounterAtomic variable
+	Cycles        uint32   // Compute: core cycles of non-memory work
+}
+
+// Trace is one core's operation stream.
+type Trace struct {
+	Ops []Op
+}
+
+// Append adds an op.
+func (t *Trace) Append(op Op) { t.Ops = append(t.Ops, op) }
+
+// Len returns the number of ops.
+func (t *Trace) Len() int { return len(t.Ops) }
+
+// Counts returns how many ops of each kind the trace contains.
+func (t *Trace) Counts() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, op := range t.Ops {
+		out[op.Kind]++
+	}
+	return out
+}
+
+// Transactions returns the number of complete TxBegin/TxEnd pairs.
+func (t *Trace) Transactions() int {
+	begins, ends := 0, 0
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case TxBegin:
+			begins++
+		case TxEnd:
+			ends++
+		}
+	}
+	if ends < begins {
+		return ends
+	}
+	return ends
+}
+
+// Validate checks structural sanity: line-aligned clwb/ccwb targets and
+// balanced transaction markers.
+func (t *Trace) Validate() error {
+	depth := 0
+	for i, op := range t.Ops {
+		switch op.Kind {
+		case TxBegin:
+			depth++
+		case TxEnd:
+			depth--
+			if depth < 0 {
+				return fmt.Errorf("trace: TxEnd without TxBegin at op %d", i)
+			}
+		case Compute:
+			if op.Cycles == 0 {
+				return fmt.Errorf("trace: zero-cycle compute at op %d", i)
+			}
+		}
+	}
+	if depth != 0 {
+		return fmt.Errorf("trace: %d unclosed transactions", depth)
+	}
+	return nil
+}
+
+// FootprintLines returns the number of distinct data lines touched.
+func (t *Trace) FootprintLines() int {
+	seen := make(map[mem.Addr]bool)
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case Read, Write, Clwb:
+			seen[op.Addr.LineAddr()] = true
+		}
+	}
+	return len(seen)
+}

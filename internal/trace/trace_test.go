@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"encnvm/internal/mem"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		Read: "read", Write: "write", Clwb: "clwb", Sfence: "sfence",
+		CCWB: "ccwb", Compute: "compute", TxBegin: "txbegin", TxEnd: "txend",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if Kind(42).String() != "Kind(42)" {
+		t.Errorf("unknown kind string = %q", Kind(42).String())
+	}
+}
+
+func TestAppendAndCounts(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(Op{Kind: Read, Addr: 0})
+	tr.Append(Op{Kind: Write, Addr: 64})
+	tr.Append(Op{Kind: Write, Addr: 128})
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	c := tr.Counts()
+	if c[Read] != 1 || c[Write] != 2 {
+		t.Fatalf("Counts = %v", c)
+	}
+}
+
+func TestTransactions(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 3; i++ {
+		tr.Append(Op{Kind: TxBegin})
+		tr.Append(Op{Kind: Write, Addr: mem.Addr(i * 64)})
+		tr.Append(Op{Kind: TxEnd})
+	}
+	if tr.Transactions() != 3 {
+		t.Fatalf("Transactions = %d", tr.Transactions())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Trace{}
+	good.Append(Op{Kind: TxBegin})
+	good.Append(Op{Kind: TxEnd})
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+
+	unclosed := &Trace{}
+	unclosed.Append(Op{Kind: TxBegin})
+	if unclosed.Validate() == nil {
+		t.Fatal("unclosed tx accepted")
+	}
+
+	extra := &Trace{}
+	extra.Append(Op{Kind: TxEnd})
+	if extra.Validate() == nil {
+		t.Fatal("TxEnd without TxBegin accepted")
+	}
+
+	zero := &Trace{}
+	zero.Append(Op{Kind: Compute, Cycles: 0})
+	if zero.Validate() == nil {
+		t.Fatal("zero-cycle compute accepted")
+	}
+}
+
+func TestFootprintLines(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(Op{Kind: Read, Addr: 0})
+	tr.Append(Op{Kind: Write, Addr: 63})  // same line as 0
+	tr.Append(Op{Kind: Clwb, Addr: 64})   // second line
+	tr.Append(Op{Kind: CCWB, Addr: 4096}) // counter op: not data footprint
+	if got := tr.FootprintLines(); got != 2 {
+		t.Fatalf("FootprintLines = %d, want 2", got)
+	}
+}
+
+// Property: Counts sums to Len for arbitrary op sequences.
+func TestPropertyCountsSumToLen(t *testing.T) {
+	f := func(kinds []uint8) bool {
+		tr := &Trace{}
+		for _, k := range kinds {
+			tr.Append(Op{Kind: Kind(k % 8), Cycles: 1})
+		}
+		total := 0
+		for _, n := range tr.Counts() {
+			total += n
+		}
+		return total == tr.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+package workloads
+
+import (
+	"fmt"
+
+	"encnvm/internal/mem"
+	"encnvm/internal/persist"
+)
+
+// BTree inserts random values into a persistent B-tree (paper §6.2). The
+// tree has minimum degree 4 (max 7 keys, 8 children per node) and uses the
+// classic single-pass insertion that splits full nodes on the way down, so
+// each insert touches a bounded set of nodes inside one transaction.
+//
+// Node layout (3 lines / 192B): {leaf(8B), n(8B), pad(48B)} |
+// keys[7] (56B) + pad | children[8] (64B).
+// Meta line: {magic, root, count, nextSeq}.
+type BTree struct{}
+
+// Published implements Workload.
+func (*BTree) Published(space *mem.Space, a persist.Arena) bool {
+	return published(space, a, magicBTree)
+}
+
+// Name implements Workload.
+func (*BTree) Name() string { return "btree" }
+
+const (
+	btDegree   = 4
+	btMaxKeys  = 2*btDegree - 1 // 7
+	btMinKeys  = btDegree - 1   // 3
+	btRootOff  = 8
+	btCountOff = 16
+	btSeqOff   = 24
+
+	btNodeLines = 3
+	btLeafOff   = 0
+	btNOff      = 8
+	btKeysOff   = 64
+	btKidsOff   = 128
+)
+
+// btKey derives the i-th inserted key: a bijective scramble of the
+// sequence number, giving unique pseudo-random keys.
+func btKey(seq uint64) uint64 { return seq*0x2545F4914F6CDD1D + 0x123456789 }
+
+// memIO abstracts field access so the same tree code runs at setup time
+// (raw runtime stores), inside transactions, and over a post-crash image.
+type memIO interface {
+	LoadUint64(mem.Addr) uint64
+	StoreUint64(mem.Addr, uint64)
+}
+
+// rtIO adapts the runtime (setup phase).
+type rtIO struct{ rt *persist.Runtime }
+
+func (io rtIO) LoadUint64(a mem.Addr) uint64     { return io.rt.LoadUint64(a) }
+func (io rtIO) StoreUint64(a mem.Addr, v uint64) { io.rt.StoreUint64(a, v) }
+
+// txIO adapts an open transaction (run phase).
+type txIO struct{ tx *persist.Tx }
+
+func (io txIO) LoadUint64(a mem.Addr) uint64     { return io.tx.LoadUint64(a) }
+func (io txIO) StoreUint64(a mem.Addr, v uint64) { io.tx.StoreUint64(a, v) }
+
+type btNode struct {
+	io   memIO
+	addr mem.Addr
+}
+
+func (n btNode) leaf() bool       { return n.io.LoadUint64(n.addr+btLeafOff) != 0 }
+func (n btNode) setLeaf(v bool)   { n.io.StoreUint64(n.addr+btLeafOff, b2u(v)) }
+func (n btNode) count() int       { return int(n.io.LoadUint64(n.addr + btNOff)) }
+func (n btNode) setCount(c int)   { n.io.StoreUint64(n.addr+btNOff, uint64(c)) }
+func (n btNode) key(i int) uint64 { return n.io.LoadUint64(n.addr + btKeysOff + mem.Addr(i*8)) }
+func (n btNode) setKey(i int, k uint64) {
+	n.io.StoreUint64(n.addr+btKeysOff+mem.Addr(i*8), k)
+}
+func (n btNode) child(i int) mem.Addr {
+	return mem.Addr(n.io.LoadUint64(n.addr + btKidsOff + mem.Addr(i*8)))
+}
+func (n btNode) setChild(i int, c mem.Addr) {
+	n.io.StoreUint64(n.addr+btKidsOff+mem.Addr(i*8), uint64(c))
+}
+
+func b2u(v bool) uint64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// btAlloc allocates a fresh node.
+func btAlloc(rt *persist.Runtime, io memIO, leaf bool) btNode {
+	n := btNode{io: io, addr: rt.AllocLines(btNodeLines)}
+	n.setLeaf(leaf)
+	n.setCount(0)
+	return n
+}
+
+// btSplitChild splits the full i-th child of parent (CLRS 18.2).
+func btSplitChild(rt *persist.Runtime, io memIO, parent btNode, i int) {
+	full := btNode{io: io, addr: parent.child(i)}
+	right := btAlloc(rt, io, full.leaf())
+	right.setCount(btMinKeys)
+	for j := 0; j < btMinKeys; j++ {
+		right.setKey(j, full.key(j+btDegree))
+	}
+	if !full.leaf() {
+		for j := 0; j < btDegree; j++ {
+			right.setChild(j, full.child(j+btDegree))
+		}
+	}
+	full.setCount(btMinKeys)
+	for j := parent.count(); j > i; j-- {
+		parent.setChild(j+1, parent.child(j))
+	}
+	parent.setChild(i+1, right.addr)
+	for j := parent.count() - 1; j >= i; j-- {
+		parent.setKey(j+1, parent.key(j))
+	}
+	parent.setKey(i, full.key(btDegree-1))
+	parent.setCount(parent.count() + 1)
+}
+
+// btInsert inserts key into the tree rooted at meta's root pointer.
+func btInsert(rt *persist.Runtime, io memIO, meta mem.Addr, key uint64) {
+	root := btNode{io: io, addr: mem.Addr(io.LoadUint64(meta + btRootOff))}
+	if root.count() == btMaxKeys {
+		newRoot := btAlloc(rt, io, false)
+		newRoot.setChild(0, root.addr)
+		io.StoreUint64(meta+btRootOff, uint64(newRoot.addr))
+		btSplitChild(rt, io, newRoot, 0)
+		root = newRoot
+	}
+	// Descend, splitting full children preemptively.
+	n := root
+	for {
+		i := n.count() - 1
+		if n.leaf() {
+			for i >= 0 && key < n.key(i) {
+				n.setKey(i+1, n.key(i))
+				i--
+			}
+			n.setKey(i+1, key)
+			n.setCount(n.count() + 1)
+			io.StoreUint64(meta+btCountOff, io.LoadUint64(meta+btCountOff)+1)
+			return
+		}
+		for i >= 0 && key < n.key(i) {
+			i--
+		}
+		i++
+		child := btNode{io: io, addr: n.child(i)}
+		if child.count() == btMaxKeys {
+			btSplitChild(rt, io, n, i)
+			if key > n.key(i) {
+				i++
+			}
+			child = btNode{io: io, addr: n.child(i)}
+		}
+		n = child
+	}
+}
+
+// Setup builds a tree of Items keys and publishes it.
+func (*BTree) Setup(rt *persist.Runtime, p Params) {
+	p = p.WithDefaults()
+	meta := rt.AllocLines(1)
+	io := rtIO{rt}
+	root := btAlloc(rt, io, true)
+	rt.StoreUint64(meta+btRootOff, uint64(root.addr))
+	seq := uint64(1)
+	for i := 0; i < p.Items; i++ {
+		btInsert(rt, io, meta, btKey(seq))
+		seq++
+	}
+	rt.StoreUint64(meta+btSeqOff, seq)
+	publish(rt, magicBTree)
+}
+
+// Run inserts p.Ops keys transactionally.
+func (*BTree) Run(rt *persist.Runtime, p Params) {
+	p = p.WithDefaults()
+	meta := rt.Arena().HeapBase()
+	for done := 0; done < p.Ops; {
+		batch := min(p.OpsPerTx, p.Ops-done)
+		rt.Tx(func(tx *persist.Tx) {
+			io := txIO{tx}
+			for k := 0; k < batch; k++ {
+				seq := io.LoadUint64(meta + btSeqOff)
+				btInsert(rt, io, meta, btKey(seq))
+				io.StoreUint64(meta+btSeqOff, seq+1)
+			}
+		})
+		done += batch
+		rt.Compute(p.ComputeCycles)
+	}
+}
+
+// spaceIO is a read-only adapter over a plaintext image for validation.
+type spaceIO struct{ s *mem.Space }
+
+func (io spaceIO) LoadUint64(a mem.Addr) uint64 { return io.s.ReadUint64(a) }
+func (io spaceIO) StoreUint64(mem.Addr, uint64) { panic("spaceIO is read-only") }
+
+// Validate checks the full B-tree contract: key-sortedness within nodes,
+// subtree key ranges, uniform leaf depth, per-node occupancy bounds, and
+// that the number of reachable keys equals the meta count.
+func (*BTree) Validate(space *mem.Space, a persist.Arena) error {
+	if !published(space, a, magicBTree) {
+		return nil
+	}
+	meta := a.HeapBase()
+	io := spaceIO{space}
+	rootAddr := mem.Addr(space.ReadUint64(meta + btRootOff))
+	if err := checkHeapPtr(a, rootAddr, "btree root"); err != nil {
+		return err
+	}
+	count := space.ReadUint64(meta + btCountOff)
+	maxNodes := a.Size / (btNodeLines * mem.LineBytes)
+	if count > maxNodes*btMaxKeys {
+		return fmt.Errorf("btree: implausible count %d", count)
+	}
+
+	var keys uint64
+	var leafDepth = -1
+	var walk func(addr mem.Addr, lo, hi uint64, depth int, isRoot bool) error
+	walk = func(addr mem.Addr, lo, hi uint64, depth int, isRoot bool) error {
+		if err := checkHeapPtr(a, addr, "btree node"); err != nil {
+			return err
+		}
+		if depth > 64 {
+			return fmt.Errorf("btree: depth > 64, likely cycle")
+		}
+		n := btNode{io: io, addr: addr}
+		c := n.count()
+		if c < 1 || c > btMaxKeys || (!isRoot && c < btMinKeys) {
+			return fmt.Errorf("btree: node %#x has %d keys", addr, c)
+		}
+		prev := lo
+		for i := 0; i < c; i++ {
+			k := n.key(i)
+			if k <= prev || k >= hi {
+				return fmt.Errorf("btree: node %#x key[%d]=%d violates range (%d,%d)", addr, i, k, prev, hi)
+			}
+			prev = k
+		}
+		keys += uint64(c)
+		if keys > count {
+			return fmt.Errorf("btree: more reachable keys than count %d", count)
+		}
+		if n.leaf() {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("btree: leaves at depths %d and %d", leafDepth, depth)
+			}
+			return nil
+		}
+		childLo := lo
+		for i := 0; i <= c; i++ {
+			childHi := hi
+			if i < c {
+				childHi = n.key(i)
+			}
+			if err := walk(n.child(i), childLo, childHi, depth+1, false); err != nil {
+				return err
+			}
+			childLo = childHi
+		}
+		return nil
+	}
+
+	// Empty tree: a single leaf root with zero keys is only legal when
+	// count is zero.
+	root := btNode{io: io, addr: rootAddr}
+	if root.count() == 0 {
+		if !root.leaf() || count != 0 {
+			return fmt.Errorf("btree: empty root with count %d", count)
+		}
+		return nil
+	}
+	if err := walk(rootAddr, 0, ^uint64(0), 0, true); err != nil {
+		return err
+	}
+	if keys != count {
+		return fmt.Errorf("btree: reachable keys %d != count %d", keys, count)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package workloads
+
+import (
+	"fmt"
+
+	"encnvm/internal/mem"
+	"encnvm/internal/persist"
+)
+
+// HashTable inserts random values into a persistent chained hash table
+// (paper §6.2).
+//
+// Layout: meta line {magic, nbuckets, count, nextKey} at HeapBase; a
+// bucket array of nbuckets pointers packed eight per line; nodes of one
+// line each {key, val, next} with val = keyVal(key).
+type HashTable struct{}
+
+// Published implements Workload.
+func (*HashTable) Published(space *mem.Space, a persist.Arena) bool {
+	return published(space, a, magicHashTable)
+}
+
+// Name implements Workload.
+func (*HashTable) Name() string { return "hashtable" }
+
+const (
+	htBucketsOff = 8
+	htCountOff   = 16
+	htNextKeyOff = 24
+)
+
+// htHash spreads a key over the buckets (Fibonacci hashing).
+func htHash(key, nbuckets uint64) uint64 { return (key * valTag) >> 17 % nbuckets }
+
+func htBucketAddr(meta mem.Addr, b uint64) mem.Addr {
+	return meta + mem.LineBytes + mem.Addr(b*8)
+}
+
+// Setup builds an empty table sized to keep chains short at the expected
+// population, then inserts Items keys before publishing.
+func (*HashTable) Setup(rt *persist.Runtime, p Params) {
+	p = p.WithDefaults()
+	nbuckets := uint64(p.Items + p.Ops)
+	if nbuckets < 64 {
+		nbuckets = 64
+	}
+	meta := rt.AllocLines(1)
+	rt.Alloc(nbuckets * 8) // bucket array, zero-initialized
+	rt.StoreUint64(meta+htBucketsOff, nbuckets)
+
+	key := uint64(1)
+	for i := 0; i < p.Items; i++ {
+		htInsertRaw(rt, meta, nbuckets, key)
+		key++
+	}
+	rt.StoreUint64(meta+htCountOff, uint64(p.Items))
+	rt.StoreUint64(meta+htNextKeyOff, key)
+	publish(rt, magicHashTable)
+}
+
+// htInsertRaw is the untransactional setup-time insert.
+func htInsertRaw(rt *persist.Runtime, meta mem.Addr, nbuckets, key uint64) {
+	node := rt.AllocLines(1)
+	b := htBucketAddr(meta, htHash(key, nbuckets))
+	rt.StoreUint64(node, key)
+	rt.StoreUint64(node+8, keyVal(key))
+	rt.StoreUint64(node+16, rt.LoadUint64(b))
+	rt.StoreUint64(b, uint64(node))
+}
+
+// Run inserts p.Ops fresh keys transactionally.
+func (*HashTable) Run(rt *persist.Runtime, p Params) {
+	p = p.WithDefaults()
+	meta := rt.Arena().HeapBase()
+	nbuckets := rt.LoadUint64(meta + htBucketsOff)
+	for done := 0; done < p.Ops; {
+		batch := min(p.OpsPerTx, p.Ops-done)
+		rt.Tx(func(tx *persist.Tx) {
+			for k := 0; k < batch; k++ {
+				key := tx.LoadUint64(meta + htNextKeyOff)
+				node := rt.AllocLines(1)
+				b := htBucketAddr(meta, htHash(key, nbuckets))
+				tx.StoreUint64(node, key)
+				tx.StoreUint64(node+8, keyVal(key))
+				tx.StoreUint64(node+16, tx.LoadUint64(b))
+				tx.StoreUint64(b, uint64(node))
+				tx.StoreUint64(meta+htNextKeyOff, key+1)
+				tx.StoreUint64(meta+htCountOff, tx.LoadUint64(meta+htCountOff)+1)
+			}
+		})
+		done += batch
+		rt.Compute(p.ComputeCycles)
+	}
+}
+
+// Validate walks every chain: nodes must be in-arena, land in the bucket
+// their key hashes to, carry val == keyVal(key), and the total node count
+// must match the meta count.
+func (*HashTable) Validate(space *mem.Space, a persist.Arena) error {
+	if !published(space, a, magicHashTable) {
+		return nil
+	}
+	meta := a.HeapBase()
+	nbuckets := space.ReadUint64(meta + htBucketsOff)
+	count := space.ReadUint64(meta + htCountOff)
+	maxNodes := a.Size / mem.LineBytes
+	if nbuckets == 0 || nbuckets > maxNodes || count > maxNodes {
+		return fmt.Errorf("hashtable: implausible geometry buckets=%d count=%d", nbuckets, count)
+	}
+	var walked uint64
+	for b := uint64(0); b < nbuckets; b++ {
+		cur := mem.Addr(space.ReadUint64(htBucketAddr(meta, b)))
+		for steps := uint64(0); cur != 0; steps++ {
+			if steps > count {
+				return fmt.Errorf("hashtable: cycle or over-long chain in bucket %d", b)
+			}
+			if err := checkHeapPtr(a, cur, "hashtable node"); err != nil {
+				return fmt.Errorf("hashtable: bucket %d: %w", b, err)
+			}
+			key := space.ReadUint64(cur)
+			if htHash(key, nbuckets) != b {
+				return fmt.Errorf("hashtable: node %#x key %d in wrong bucket %d", cur, key, b)
+			}
+			if space.ReadUint64(cur+8) != keyVal(key) {
+				return fmt.Errorf("hashtable: node %#x has corrupt value", cur)
+			}
+			walked++
+			cur = mem.Addr(space.ReadUint64(cur + 16))
+		}
+	}
+	if walked != count {
+		return fmt.Errorf("hashtable: walked %d nodes, meta count %d", walked, count)
+	}
+	return nil
+}

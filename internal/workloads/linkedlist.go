@@ -1,0 +1,126 @@
+package workloads
+
+import (
+	"fmt"
+
+	"encnvm/internal/mem"
+	"encnvm/internal/persist"
+)
+
+// LinkedList is the paper's §2.2.3 motivating structure as a first-class
+// workload: nodes are inserted at the head using the *log-free*
+// shadow-update protocol the paper walks through in Figure 4 — build the
+// node, persist it (clwb + ccwb + fence), then publish it with a single
+// CounterAtomic head-pointer store. No undo/redo log is involved: the
+// head-pointer flip IS the commit, which makes this workload the purest
+// exercise of counter-atomicity (and, per the paper's Fig. 13 discussion,
+// a high-CA-fraction workload like queue and rbtree).
+//
+// Layout: meta line {magic, head, count} at HeapBase; each node is one
+// line {val, next} with val = magicList ^ nodeAddr (self-certifying).
+type LinkedList struct{}
+
+const (
+	magicList = 0x4C494E4B4C495354 // "LINKLIST"
+
+	llHeadOff  = 8
+	llCountOff = 16
+)
+
+func listNodeVal(addr mem.Addr) uint64 { return magicList ^ uint64(addr) }
+
+// Published implements Workload.
+func (*LinkedList) Published(space *mem.Space, a persist.Arena) bool {
+	return published(space, a, magicList)
+}
+
+// Name implements Workload.
+func (*LinkedList) Name() string { return "linkedlist" }
+
+// Setup publishes an empty list, pre-populated with Items/2 nodes.
+func (*LinkedList) Setup(rt *persist.Runtime, p Params) {
+	p = p.WithDefaults()
+	meta := rt.AllocLines(1)
+	var head mem.Addr
+	n := p.Items / 2
+	for i := 0; i < n; i++ {
+		node := rt.AllocLines(1)
+		rt.StoreUint64(node, listNodeVal(node))
+		rt.StoreUint64(node+8, uint64(head))
+		head = node
+	}
+	rt.StoreUint64(meta+llHeadOff, uint64(head))
+	rt.StoreUint64(meta+llCountOff, uint64(n))
+	publish(rt, magicList)
+}
+
+// Run performs p.Ops head inserts with the Figure-4 protocol. Unlike the
+// other workloads there is no transaction: crash consistency comes
+// entirely from write ordering plus the counter-atomic head update.
+// The count field is folded into the same CounterAtomic store as the
+// head pointer (they share the meta line), so both flip together.
+func (*LinkedList) Run(rt *persist.Runtime, p Params) {
+	p = p.WithDefaults()
+	meta := rt.Arena().HeapBase()
+	for i := 0; i < p.Ops; i++ {
+		node := rt.AllocLines(1)
+		head := rt.LoadUint64(meta + llHeadOff)
+		count := rt.LoadUint64(meta + llCountOff)
+
+		// Steps ① and ②: create the node and link it in front of the
+		// current head, then persist data AND counters before the
+		// node becomes reachable.
+		rt.StoreUint64(node, listNodeVal(node))
+		rt.StoreUint64(node+8, head)
+		rt.Clwb(node, 16)
+		rt.CCWB(node, 16)
+		rt.Fence()
+
+		// Step ③: the publication. head and count live in the same
+		// line; one CounterAtomic store flips both.
+		var pub [16]byte
+		putUint64(pub[0:8], uint64(node))
+		putUint64(pub[8:16], count+1)
+		rt.StoreCounterAtomic(meta+llHeadOff, pub[:])
+		rt.Clwb(meta+llHeadOff, 16)
+		rt.Fence()
+
+		rt.Compute(p.ComputeCycles)
+	}
+}
+
+// putUint64 writes v little-endian (avoiding an encoding/binary import
+// for two call sites keeps the workload file self-contained).
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+// Validate walks the list from head for exactly count nodes: every node
+// in-arena and self-certifying, terminating in a nil next.
+func (*LinkedList) Validate(space *mem.Space, a persist.Arena) error {
+	if !published(space, a, magicList) {
+		return nil
+	}
+	meta := a.HeapBase()
+	head := mem.Addr(space.ReadUint64(meta + llHeadOff))
+	count := space.ReadUint64(meta + llCountOff)
+	if count > a.Size/mem.LineBytes {
+		return fmt.Errorf("linkedlist: implausible count %d", count)
+	}
+	cur := head
+	for i := uint64(0); i < count; i++ {
+		if err := checkHeapPtr(a, cur, "list node"); err != nil {
+			return fmt.Errorf("linkedlist: node %d: %w", i, err)
+		}
+		if got := space.ReadUint64(cur); got != listNodeVal(cur) {
+			return fmt.Errorf("linkedlist: node %d at %#x corrupt (%#x)", i, cur, got)
+		}
+		cur = mem.Addr(space.ReadUint64(cur + 8))
+	}
+	if cur != 0 {
+		return fmt.Errorf("linkedlist: walk of %d nodes did not end at nil (%#x)", count, cur)
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"fmt"
+
+	"encnvm/internal/mem"
+	"encnvm/internal/persist"
+)
+
+// Queue randomly enqueues and dequeues items on a persistent singly-linked
+// queue (paper §6.2).
+//
+// Layout: meta line {magic, head, tail, count} at HeapBase; each node is
+// one line {val, next} where val = magicQueue ^ nodeAddr, making every
+// reachable node self-certifying during validation.
+type Queue struct{}
+
+// Published implements Workload.
+func (*Queue) Published(space *mem.Space, a persist.Arena) bool {
+	return published(space, a, magicQueue)
+}
+
+// Name implements Workload.
+func (*Queue) Name() string { return "queue" }
+
+const (
+	qHeadOff  = 8
+	qTailOff  = 16
+	qCountOff = 24
+)
+
+func queueNodeVal(addr mem.Addr) uint64 { return magicQueue ^ uint64(addr) }
+
+// Setup publishes an empty queue pre-filled with Items/2 nodes so both
+// enqueues and dequeues run from the start.
+func (*Queue) Setup(rt *persist.Runtime, p Params) {
+	p = p.WithDefaults()
+	meta := rt.AllocLines(1)
+	var head, tail mem.Addr
+	n := p.Items / 2
+	for i := 0; i < n; i++ {
+		node := rt.AllocLines(1)
+		rt.StoreUint64(node, queueNodeVal(node))
+		rt.StoreUint64(node+8, 0)
+		if head == 0 {
+			head, tail = node, node
+		} else {
+			rt.StoreUint64(tail+8, uint64(node))
+			tail = node
+		}
+	}
+	rt.StoreUint64(meta+qHeadOff, uint64(head))
+	rt.StoreUint64(meta+qTailOff, uint64(tail))
+	rt.StoreUint64(meta+qCountOff, uint64(n))
+	publish(rt, magicQueue)
+}
+
+// Run performs p.Ops random enqueue/dequeue operations.
+func (*Queue) Run(rt *persist.Runtime, p Params) {
+	p = p.WithDefaults()
+	r := rng(p, 2)
+	meta := rt.Arena().HeapBase()
+	for done := 0; done < p.Ops; {
+		batch := min(p.OpsPerTx, p.Ops-done)
+		rt.Tx(func(tx *persist.Tx) {
+			for k := 0; k < batch; k++ {
+				count := tx.LoadUint64(meta + qCountOff)
+				if count == 0 || r.Intn(2) == 0 {
+					enqueue(rt, tx, meta)
+				} else {
+					dequeue(tx, meta, count)
+				}
+			}
+		})
+		done += batch
+		rt.Compute(p.ComputeCycles)
+	}
+}
+
+func enqueue(rt *persist.Runtime, tx *persist.Tx, meta mem.Addr) {
+	node := rt.AllocLines(1)
+	tx.StoreUint64(node, queueNodeVal(node))
+	tx.StoreUint64(node+8, 0)
+	count := tx.LoadUint64(meta + qCountOff)
+	if count == 0 {
+		tx.StoreUint64(meta+qHeadOff, uint64(node))
+	} else {
+		tail := mem.Addr(tx.LoadUint64(meta + qTailOff))
+		tx.StoreUint64(tail+8, uint64(node))
+	}
+	tx.StoreUint64(meta+qTailOff, uint64(node))
+	tx.StoreUint64(meta+qCountOff, count+1)
+}
+
+func dequeue(tx *persist.Tx, meta mem.Addr, count uint64) {
+	head := mem.Addr(tx.LoadUint64(meta + qHeadOff))
+	next := tx.LoadUint64(head + 8)
+	tx.StoreUint64(meta+qHeadOff, next)
+	tx.StoreUint64(meta+qCountOff, count-1)
+	if count == 1 {
+		tx.StoreUint64(meta+qTailOff, 0)
+	}
+}
+
+// Validate walks the queue from head for exactly count nodes, checking
+// every node's self-certifying value, the arena bounds of every pointer,
+// and that the walk ends precisely at tail with a nil next.
+func (*Queue) Validate(space *mem.Space, a persist.Arena) error {
+	if !published(space, a, magicQueue) {
+		return nil
+	}
+	meta := a.HeapBase()
+	head := mem.Addr(space.ReadUint64(meta + qHeadOff))
+	tail := mem.Addr(space.ReadUint64(meta + qTailOff))
+	count := space.ReadUint64(meta + qCountOff)
+
+	if count == 0 {
+		if head != 0 && tail != 0 {
+			// An empty queue may keep a stale head; both zero or a
+			// consistent pair is fine, but a dangling single end is
+			// suspicious only if tail is nonzero with count 0 links.
+		}
+		if tail != 0 {
+			return fmt.Errorf("queue: count 0 but tail %#x", tail)
+		}
+		return nil
+	}
+	if count > a.Size/mem.LineBytes {
+		return fmt.Errorf("queue: implausible count %d", count)
+	}
+	cur := head
+	for i := uint64(0); i < count; i++ {
+		if err := checkHeapPtr(a, cur, "queue node"); err != nil {
+			return fmt.Errorf("queue: node %d: %w", i, err)
+		}
+		if got := space.ReadUint64(cur); got != queueNodeVal(cur) {
+			return fmt.Errorf("queue: node %d at %#x has corrupt value %#x", i, cur, got)
+		}
+		next := mem.Addr(space.ReadUint64(cur + 8))
+		if i == count-1 {
+			if cur != tail {
+				return fmt.Errorf("queue: walk ended at %#x, tail is %#x", cur, tail)
+			}
+			if next != 0 {
+				return fmt.Errorf("queue: tail %#x has dangling next %#x", cur, next)
+			}
+			return nil
+		}
+		cur = next
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+package workloads
+
+import (
+	"fmt"
+
+	"encnvm/internal/mem"
+	"encnvm/internal/persist"
+)
+
+// RBTree inserts random values into a persistent red-black tree (paper
+// §6.2), using the standard insert-and-fixup algorithm with rotations, so
+// each transaction touches a chain of nodes up the tree.
+//
+// Node layout (1 line / 64B): {key, val, color, left, right, parent} with
+// val = keyVal(key) for corruption detection.
+// Meta line: {magic, root, count, nextSeq}.
+type RBTree struct{}
+
+// Published implements Workload.
+func (*RBTree) Published(space *mem.Space, a persist.Arena) bool {
+	return published(space, a, magicRBTree)
+}
+
+// Name implements Workload.
+func (*RBTree) Name() string { return "rbtree" }
+
+const (
+	rbRootOff  = 8
+	rbCountOff = 16
+	rbSeqOff   = 24
+
+	rbKeyOff    = 0
+	rbValOff    = 8
+	rbColorOff  = 16
+	rbLeftOff   = 24
+	rbRightOff  = 32
+	rbParentOff = 40
+
+	rbRed   = 1
+	rbBlack = 0
+)
+
+// rbKeyFor derives the i-th inserted key (bijective scramble, unique).
+func rbKeyFor(seq uint64) uint64 { return seq*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9 }
+
+type rbNode struct {
+	io   memIO
+	addr mem.Addr // 0 = nil leaf
+}
+
+func (n rbNode) isNil() bool { return n.addr == 0 }
+func (n rbNode) key() uint64 { return n.io.LoadUint64(n.addr + rbKeyOff) }
+func (n rbNode) red() bool {
+	if n.isNil() {
+		return false // nil leaves are black
+	}
+	return n.io.LoadUint64(n.addr+rbColorOff) == rbRed
+}
+func (n rbNode) setColor(red bool) {
+	c := uint64(rbBlack)
+	if red {
+		c = rbRed
+	}
+	n.io.StoreUint64(n.addr+rbColorOff, c)
+}
+func (n rbNode) left() rbNode {
+	return rbNode{n.io, mem.Addr(n.io.LoadUint64(n.addr + rbLeftOff))}
+}
+func (n rbNode) right() rbNode {
+	return rbNode{n.io, mem.Addr(n.io.LoadUint64(n.addr + rbRightOff))}
+}
+func (n rbNode) parent() rbNode {
+	return rbNode{n.io, mem.Addr(n.io.LoadUint64(n.addr + rbParentOff))}
+}
+func (n rbNode) setLeft(c rbNode)   { n.io.StoreUint64(n.addr+rbLeftOff, uint64(c.addr)) }
+func (n rbNode) setRight(c rbNode)  { n.io.StoreUint64(n.addr+rbRightOff, uint64(c.addr)) }
+func (n rbNode) setParent(c rbNode) { n.io.StoreUint64(n.addr+rbParentOff, uint64(c.addr)) }
+
+// rbTree bundles the io with the meta address.
+type rbTree struct {
+	io   memIO
+	meta mem.Addr
+}
+
+func (t rbTree) root() rbNode {
+	return rbNode{t.io, mem.Addr(t.io.LoadUint64(t.meta + rbRootOff))}
+}
+func (t rbTree) setRoot(n rbNode) { t.io.StoreUint64(t.meta+rbRootOff, uint64(n.addr)) }
+
+// rotateLeft performs the standard left rotation about x.
+func (t rbTree) rotateLeft(x rbNode) {
+	y := x.right()
+	x.setRight(y.left())
+	if !y.left().isNil() {
+		y.left().setParent(x)
+	}
+	y.setParent(x.parent())
+	if x.parent().isNil() {
+		t.setRoot(y)
+	} else if x.parent().left().addr == x.addr {
+		x.parent().setLeft(y)
+	} else {
+		x.parent().setRight(y)
+	}
+	y.setLeft(x)
+	x.setParent(y)
+}
+
+// rotateRight is the mirror of rotateLeft.
+func (t rbTree) rotateRight(x rbNode) {
+	y := x.left()
+	x.setLeft(y.right())
+	if !y.right().isNil() {
+		y.right().setParent(x)
+	}
+	y.setParent(x.parent())
+	if x.parent().isNil() {
+		t.setRoot(y)
+	} else if x.parent().right().addr == x.addr {
+		x.parent().setRight(y)
+	} else {
+		x.parent().setLeft(y)
+	}
+	y.setRight(x)
+	x.setParent(y)
+}
+
+// insert adds a fresh node with the given key and rebalances.
+func (t rbTree) insert(rt *persist.Runtime, key uint64) {
+	z := rbNode{t.io, rt.AllocLines(1)}
+	t.io.StoreUint64(z.addr+rbKeyOff, key)
+	t.io.StoreUint64(z.addr+rbValOff, keyVal(key))
+	t.io.StoreUint64(z.addr+rbLeftOff, 0)
+	t.io.StoreUint64(z.addr+rbRightOff, 0)
+
+	// BST descent.
+	y := rbNode{t.io, 0}
+	x := t.root()
+	for !x.isNil() {
+		y = x
+		if key < x.key() {
+			x = x.left()
+		} else {
+			x = x.right()
+		}
+	}
+	z.setParent(y)
+	if y.isNil() {
+		t.setRoot(z)
+	} else if key < y.key() {
+		y.setLeft(z)
+	} else {
+		y.setRight(z)
+	}
+	z.setColor(true)
+
+	// Fixup.
+	for z.parent().red() {
+		p := z.parent()
+		g := p.parent()
+		if p.addr == g.left().addr {
+			u := g.right()
+			if u.red() {
+				p.setColor(false)
+				u.setColor(false)
+				g.setColor(true)
+				z = g
+				continue
+			}
+			if z.addr == p.right().addr {
+				z = p
+				t.rotateLeft(z)
+				p = z.parent()
+				g = p.parent()
+			}
+			p.setColor(false)
+			g.setColor(true)
+			t.rotateRight(g)
+		} else {
+			u := g.left()
+			if u.red() {
+				p.setColor(false)
+				u.setColor(false)
+				g.setColor(true)
+				z = g
+				continue
+			}
+			if z.addr == p.left().addr {
+				z = p
+				t.rotateRight(z)
+				p = z.parent()
+				g = p.parent()
+			}
+			p.setColor(false)
+			g.setColor(true)
+			t.rotateLeft(g)
+		}
+	}
+	t.root().setColor(false)
+	t.io.StoreUint64(t.meta+rbCountOff, t.io.LoadUint64(t.meta+rbCountOff)+1)
+}
+
+// Setup builds a tree of Items keys and publishes it.
+func (*RBTree) Setup(rt *persist.Runtime, p Params) {
+	p = p.WithDefaults()
+	meta := rt.AllocLines(1)
+	t := rbTree{io: rtIO{rt}, meta: meta}
+	seq := uint64(1)
+	for i := 0; i < p.Items; i++ {
+		t.insert(rt, rbKeyFor(seq))
+		seq++
+	}
+	rt.StoreUint64(meta+rbSeqOff, seq)
+	publish(rt, magicRBTree)
+}
+
+// Run inserts p.Ops keys transactionally.
+func (*RBTree) Run(rt *persist.Runtime, p Params) {
+	p = p.WithDefaults()
+	meta := rt.Arena().HeapBase()
+	for done := 0; done < p.Ops; {
+		batch := min(p.OpsPerTx, p.Ops-done)
+		rt.Tx(func(tx *persist.Tx) {
+			t := rbTree{io: txIO{tx}, meta: meta}
+			for k := 0; k < batch; k++ {
+				seq := tx.LoadUint64(meta + rbSeqOff)
+				t.insert(rt, rbKeyFor(seq))
+				tx.StoreUint64(meta+rbSeqOff, seq+1)
+			}
+		})
+		done += batch
+		rt.Compute(p.ComputeCycles)
+	}
+}
+
+// Validate checks the full red-black contract: BST order, no red node with
+// a red child, equal black height on every path, parent-pointer
+// consistency, value tags, and a reachable-node count matching meta.
+func (*RBTree) Validate(space *mem.Space, a persist.Arena) error {
+	if !published(space, a, magicRBTree) {
+		return nil
+	}
+	meta := a.HeapBase()
+	io := spaceIO{space}
+	count := space.ReadUint64(meta + rbCountOff)
+	rootAddr := mem.Addr(space.ReadUint64(meta + rbRootOff))
+	if count == 0 {
+		if rootAddr != 0 {
+			return fmt.Errorf("rbtree: count 0 with root %#x", rootAddr)
+		}
+		return nil
+	}
+	if count > a.Size/mem.LineBytes {
+		return fmt.Errorf("rbtree: implausible count %d", count)
+	}
+
+	var seen uint64
+	var walk func(addr, parent mem.Addr, lo, hi uint64, depth int) (blackHeight int, err error)
+	walk = func(addr, parent mem.Addr, lo, hi uint64, depth int) (int, error) {
+		if addr == 0 {
+			return 1, nil // nil leaves are black
+		}
+		if depth > 128 {
+			return 0, fmt.Errorf("rbtree: depth > 128, likely cycle")
+		}
+		if err := checkHeapPtr(a, addr, "rbtree node"); err != nil {
+			return 0, err
+		}
+		n := rbNode{io, addr}
+		if got := mem.Addr(space.ReadUint64(addr + rbParentOff)); got != parent {
+			return 0, fmt.Errorf("rbtree: node %#x parent %#x, want %#x", addr, got, parent)
+		}
+		k := n.key()
+		if k < lo || k > hi {
+			return 0, fmt.Errorf("rbtree: node %#x key %d outside [%d,%d]", addr, k, lo, hi)
+		}
+		if space.ReadUint64(addr+rbValOff) != keyVal(k) {
+			return 0, fmt.Errorf("rbtree: node %#x has corrupt value", addr)
+		}
+		if n.red() && (n.left().red() || n.right().red()) {
+			return 0, fmt.Errorf("rbtree: red node %#x has red child", addr)
+		}
+		seen++
+		if seen > count {
+			return 0, fmt.Errorf("rbtree: more reachable nodes than count %d", count)
+		}
+		var hiL, loR uint64 = k, k
+		if k > 0 {
+			hiL = k - 1
+		}
+		if k < ^uint64(0) {
+			loR = k + 1
+		}
+		lbh, err := walk(n.left().addr, addr, lo, hiL, depth+1)
+		if err != nil {
+			return 0, err
+		}
+		rbh, err := walk(n.right().addr, addr, loR, hi, depth+1)
+		if err != nil {
+			return 0, err
+		}
+		if lbh != rbh {
+			return 0, fmt.Errorf("rbtree: node %#x black heights %d/%d", addr, lbh, rbh)
+		}
+		if n.red() {
+			return lbh, nil
+		}
+		return lbh + 1, nil
+	}
+
+	root := rbNode{io, rootAddr}
+	if root.red() {
+		return fmt.Errorf("rbtree: red root")
+	}
+	if _, err := walk(rootAddr, 0, 0, ^uint64(0), 0); err != nil {
+		return err
+	}
+	if seen != count {
+		return fmt.Errorf("rbtree: reachable nodes %d != count %d", seen, count)
+	}
+	return nil
+}
