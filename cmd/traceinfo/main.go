@@ -6,7 +6,13 @@
 // Usage:
 //
 //	traceinfo [-workload btree] [-items N] [-ops N] [-opspertx N]
-//	          [-mode undo|redo] [-legacy]
+//	          [-mode undo|redo] [-legacy] [-check]
+//
+// With -check, the trace is additionally linted by internal/check against
+// the crash-consistency ordering rules R1–R5 (§4.2–§4.3) and the command
+// exits nonzero on any diagnostic. A -legacy trace is expected to be
+// flagged: software unaware of counters cannot follow the protocol, which
+// is the paper's §2.2 motivating failure.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"encnvm/internal/check"
 	"encnvm/internal/mem"
 	"encnvm/internal/persist"
 	"encnvm/internal/trace"
@@ -29,6 +36,7 @@ func main() {
 	mode := flag.String("mode", "undo", "transaction mechanism: undo|redo")
 	legacy := flag.Bool("legacy", false, "legacy (pre-paper) persistency primitives")
 	seed := flag.Int64("seed", 42, "workload RNG seed")
+	doCheck := flag.Bool("check", false, "lint the trace against crash-consistency rules R1-R5")
 	flag.Parse()
 
 	w, err := workloads.ByName(*workload)
@@ -98,6 +106,20 @@ func main() {
 			avg(measured[trace.Read], tx))
 	}
 	fmt.Printf("distinct lines written  %d\n", len(writeLines))
+
+	if *doCheck {
+		diags := check.Check(tr, check.Options{Arenas: []persist.Arena{rt.Arena()}})
+		fmt.Println("\ncrash-consistency lint (rules R1-R5):")
+		if len(diags) == 0 {
+			fmt.Println("  clean — no ordering-rule violations")
+			return
+		}
+		for _, d := range diags {
+			fmt.Printf("  %s\n", d)
+		}
+		fmt.Printf("persistcheck: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
 }
 
 func pct(n, of int) float64 {

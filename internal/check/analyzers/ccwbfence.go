@@ -1,0 +1,65 @@
+package analyzers
+
+import (
+	"go/ast"
+)
+
+// CCWBFence flags counter_cache_writeback call sites with no ordering
+// point after them: a function that issues <x>.CCWB(...) must also reach
+// a <x>.Fence() or <x>.PersistBarrier(...) later in its body (in source
+// order), otherwise the counter writeback it requested is never ordered
+// and the §4.3 protocol silently loses its second half. The check is
+// per-function and syntactic — a function that intentionally delegates
+// the fence to its caller should carry the fence in its own body anyway,
+// exactly like persist.PersistBarrier does.
+var CCWBFence = &Analyzer{
+	Name: "ccwbfence",
+	Doc:  "flags CCWB(...) call sites with no subsequent Fence()/PersistBarrier() in the same function",
+	Run:  runCCWBFence,
+}
+
+func runCCWBFence(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			var ccwbs []*ast.CallExpr
+			var barriers []*ast.CallExpr
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "CCWB":
+					ccwbs = append(ccwbs, call)
+				case "Fence", "PersistBarrier":
+					barriers = append(barriers, call)
+				}
+				return true
+			})
+			for _, c := range ccwbs {
+				fenced := false
+				for _, b := range barriers {
+					if b.Pos() > c.Pos() {
+						fenced = true
+						break
+					}
+				}
+				if !fenced {
+					pass.Report(Diagnostic{
+						Pos:     c.Pos(),
+						Message: "CCWB with no subsequent Fence()/PersistBarrier() in this function; the counter writeback is never ordered",
+					})
+				}
+			}
+		}
+	}
+	return nil
+}

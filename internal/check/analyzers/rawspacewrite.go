@@ -1,0 +1,51 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// RawSpaceWrite flags mutations performed directly through the runtime's
+// plaintext image — any call of the form <expr>.Space().Write*(...). Such
+// a store bypasses the Tx/undo-log machinery AND the trace recorder, so
+// it is invisible to replay, to crash injection, and to the trace linter:
+// the workload appears crash consistent while quietly depending on
+// unlogged, unpersisted state. Reads (Space().Read*) are fine — and
+// _test.go files are excluded by the driver, since corrupting the image
+// on purpose is exactly how validator tests work.
+var RawSpaceWrite = &Analyzer{
+	Name: "rawspacewrite",
+	Doc:  "flags <x>.Space().Write*(...) calls that bypass the Tx and trace machinery",
+	Run:  runRawSpaceWrite,
+}
+
+func runRawSpaceWrite(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !strings.HasPrefix(sel.Sel.Name, "Write") {
+				return true
+			}
+			recv, ok := sel.X.(*ast.CallExpr)
+			if !ok || len(recv.Args) != 0 {
+				return true
+			}
+			rsel, ok := recv.Fun.(*ast.SelectorExpr)
+			if !ok || rsel.Sel.Name != "Space" {
+				return true
+			}
+			pass.Report(Diagnostic{
+				Pos: call.Pos(),
+				Message: fmt.Sprintf("raw Space().%s bypasses the Tx and trace machinery; use Runtime/Tx store primitives",
+					sel.Sel.Name),
+			})
+			return true
+		})
+	}
+	return nil
+}

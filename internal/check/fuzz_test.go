@@ -1,0 +1,66 @@
+package check
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"encnvm/internal/mem"
+	"encnvm/internal/persist"
+	"encnvm/internal/trace"
+)
+
+// decodeOps turns fuzz bytes into an op stream, 8 bytes per op. The
+// decoding deliberately produces malformed ops (unknown kinds, unaligned
+// clwb targets, payload fields on the wrong kinds) so the linter's R0
+// ingestion path is exercised alongside R1–R5.
+func decodeOps(data []byte) *trace.Trace {
+	tr := &trace.Trace{}
+	for len(data) >= 8 {
+		var op trace.Op
+		op.Kind = trace.Kind(data[0] % 10) // 8 valid kinds + 2 invalid
+		op.Addr = mem.Addr(binary.LittleEndian.Uint16(data[1:3])) << 3
+		op.CounterAtomic = data[3]&1 != 0
+		op.Cycles = uint32(data[4])
+		if data[5]&1 != 0 {
+			op.Line[0] = data[6]
+		}
+		tr.Append(op)
+		data = data[8:]
+	}
+	return tr
+}
+
+// FuzzCheckTrace asserts the linter never panics and is deterministic on
+// arbitrary op sequences, well-formed or not.
+func FuzzCheckTrace(f *testing.F) {
+	f.Add([]byte{})
+	// A well-formed mini transaction.
+	seed := []byte{
+		6, 0, 0, 0, 0, 0, 0, 0, // TxBegin
+		1, 0, 8, 0, 0, 0, 0, 0, // Write
+		2, 0, 8, 0, 0, 0, 0, 0, // Clwb
+		4, 0, 8, 0, 0, 0, 0, 0, // CCWB
+		3, 0, 0, 0, 0, 0, 0, 0, // Sfence
+		7, 0, 0, 0, 0, 0, 0, 0, // TxEnd
+	}
+	f.Add(seed)
+	// Malformed: unknown kind, compute with cycles, write with line data.
+	f.Add([]byte{9, 1, 2, 3, 4, 5, 6, 7, 5, 0, 0, 0, 9, 0, 0, 0, 1, 0, 1, 1, 0, 1, 9, 0})
+
+	arenas := []persist.Arena{persist.ArenaFor(0, 1<<20)}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := decodeOps(data)
+		a := Check(tr, Options{Arenas: arenas})
+		b := Check(tr, Options{Arenas: arenas})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("nondeterministic diagnostics:\n%v\n%v", a, b)
+		}
+		// Also without arena knowledge (R5 disabled path).
+		c := Check(tr, Options{})
+		d := Check(tr, Options{})
+		if !reflect.DeepEqual(c, d) {
+			t.Fatalf("nondeterministic diagnostics (no arenas):\n%v\n%v", c, d)
+		}
+	})
+}

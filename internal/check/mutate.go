@@ -1,0 +1,72 @@
+package check
+
+import (
+	"encnvm/internal/trace"
+)
+
+// Trace mutation operators for mutation-testing the linter: each produces
+// a copy of the input with one ordering primitive dropped or displaced,
+// the precise bug classes the rules exist to catch. The originals are
+// never modified.
+
+// CloneTrace returns a deep copy of tr's op stream.
+func CloneTrace(tr *trace.Trace) *trace.Trace {
+	return &trace.Trace{Ops: append([]trace.Op(nil), tr.Ops...)}
+}
+
+// DropOp returns a copy of tr without the op at index i.
+func DropOp(tr *trace.Trace, i int) *trace.Trace {
+	out := &trace.Trace{Ops: make([]trace.Op, 0, len(tr.Ops)-1)}
+	out.Ops = append(out.Ops, tr.Ops[:i]...)
+	out.Ops = append(out.Ops, tr.Ops[i+1:]...)
+	return out
+}
+
+// MoveOp returns a copy of tr with the op at index from re-inserted so it
+// lands at index to in the result.
+func MoveOp(tr *trace.Trace, from, to int) *trace.Trace {
+	out := DropOp(tr, from)
+	op := tr.Ops[from]
+	out.Ops = append(out.Ops, trace.Op{})
+	copy(out.Ops[to+1:], out.Ops[to:])
+	out.Ops[to] = op
+	return out
+}
+
+// FindKind returns the index of the nth (0-based) op of kind k at index
+// >= from, or -1.
+func FindKind(tr *trace.Trace, k trace.Kind, from, nth int) int {
+	for i := from; i < len(tr.Ops); i++ {
+		if tr.Ops[i].Kind == k {
+			if nth == 0 {
+				return i
+			}
+			nth--
+		}
+	}
+	return -1
+}
+
+// FindLastKind returns the index of the last op of kind k, or -1.
+func FindLastKind(tr *trace.Trace, k trace.Kind) int {
+	for i := len(tr.Ops) - 1; i >= 0; i-- {
+		if tr.Ops[i].Kind == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// FindCounterAtomic returns the index of the nth (0-based) CounterAtomic
+// store at index >= from, or -1.
+func FindCounterAtomic(tr *trace.Trace, from, nth int) int {
+	for i := from; i < len(tr.Ops); i++ {
+		if tr.Ops[i].Kind == trace.Write && tr.Ops[i].CounterAtomic {
+			if nth == 0 {
+				return i
+			}
+			nth--
+		}
+	}
+	return -1
+}

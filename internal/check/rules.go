@@ -1,0 +1,230 @@
+package check
+
+import (
+	"fmt"
+
+	"encnvm/internal/mem"
+	"encnvm/internal/trace"
+)
+
+// DefaultRules returns fresh instances of the five shipped rules, in ID
+// order. Rules carry per-run state, so the result must not be shared
+// between Check calls.
+func DefaultRules() []Rule {
+	return []Rule{
+		&ruleStorePersisted{},
+		&ruleWritebackFenced{},
+		&ruleCounterWriteback{},
+		&ruleSwitchAfterPayload{},
+		&ruleMutateAfterValid{},
+	}
+}
+
+// RuleDocs returns "ID: doc" lines for every default rule, for tooling.
+func RuleDocs() []string {
+	var out []string
+	for _, r := range DefaultRules() {
+		out = append(out, r.ID()+": "+r.Doc())
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// R1 — every store persisted before its transaction (or the trace) ends.
+
+type ruleStorePersisted struct {
+	// reported dedupes the TxEnd and end-of-trace scans: one diagnostic
+	// per offending store, keyed by (line, store op index).
+	reported map[storeKey]bool
+}
+
+type storeKey struct {
+	addr mem.Addr
+	at   int
+}
+
+func (*ruleStorePersisted) ID() string { return "R1" }
+func (*ruleStorePersisted) Doc() string {
+	return "store not clwb'd+sfence'd before the transaction (or trace) ends"
+}
+
+func (r *ruleStorePersisted) flag(li LineInfo, where string) []Diagnostic {
+	if r.reported == nil {
+		r.reported = make(map[storeKey]bool)
+	}
+	key := storeKey{li.Addr, li.LastStore}
+	if r.reported[key] {
+		return nil
+	}
+	r.reported[key] = true
+	return []Diagnostic{{
+		Rule: r.ID(), OpIndex: li.LastStore, Addr: li.Addr,
+		Message: fmt.Sprintf("store to line %#x not persisted before %s (%s)",
+			li.Addr, where, lineStatusName(li.Status)),
+	}}
+}
+
+func (r *ruleStorePersisted) Check(s *State, i int, op trace.Op) []Diagnostic {
+	if op.Kind != trace.TxEnd {
+		return nil
+	}
+	var ds []Diagnostic
+	s.Lines(func(li LineInfo) {
+		if li.StoreInTx && li.Status != LinePersisted {
+			ds = append(ds, r.flag(li, fmt.Sprintf("TxEnd at op %d", i))...)
+		}
+	})
+	return ds
+}
+
+func (r *ruleStorePersisted) Finish(s *State, n int) []Diagnostic {
+	var ds []Diagnostic
+	s.Lines(func(li LineInfo) {
+		if li.Status == LineDirty || li.Status == LineFlushed {
+			ds = append(ds, r.flag(li, "end of trace")...)
+		}
+	})
+	return ds
+}
+
+func lineStatusName(st LineStatus) string {
+	switch st {
+	case LineDirty:
+		return "no clwb issued"
+	case LineFlushed:
+		return "clwb issued but never fenced"
+	default:
+		return "clean"
+	}
+}
+
+// ---------------------------------------------------------------------------
+// R2 — every clwb / counter_cache_writeback followed by an sfence.
+
+type ruleWritebackFenced struct {
+	pending []Diagnostic // writebacks with no fence seen yet
+}
+
+func (*ruleWritebackFenced) ID() string { return "R2" }
+func (*ruleWritebackFenced) Doc() string {
+	return "clwb or counter_cache_writeback with no subsequent sfence"
+}
+
+func (r *ruleWritebackFenced) Check(s *State, i int, op trace.Op) []Diagnostic {
+	switch op.Kind {
+	case trace.Clwb, trace.CCWB:
+		r.pending = append(r.pending, Diagnostic{
+			Rule: r.ID(), OpIndex: i, Addr: op.Addr.LineAddr(),
+			Message: fmt.Sprintf("%v of %#x never followed by an sfence", op.Kind, op.Addr),
+		})
+	case trace.Sfence:
+		r.pending = r.pending[:0]
+	}
+	return nil
+}
+
+func (r *ruleWritebackFenced) Finish(s *State, n int) []Diagnostic {
+	return append([]Diagnostic(nil), r.pending...)
+}
+
+// ---------------------------------------------------------------------------
+// R3 — counters written back and fenced before a version switch.
+
+type ruleCounterWriteback struct{}
+
+func (*ruleCounterWriteback) ID() string { return "R3" }
+func (*ruleCounterWriteback) Doc() string {
+	return "CounterAtomic switch while an earlier store's counter line is not written back and fenced"
+}
+
+func (r *ruleCounterWriteback) Check(s *State, i int, op trace.Op) []Diagnostic {
+	if op.Kind != trace.Write || !op.CounterAtomic {
+		return nil
+	}
+	var ds []Diagnostic
+	s.CtrGroups(func(ci CtrInfo) {
+		if ci.Status == CtrClean {
+			return
+		}
+		why := "no counter_cache_writeback issued"
+		if ci.Status == CtrPending {
+			why = "counter_cache_writeback issued but not fenced"
+		}
+		ds = append(ds, Diagnostic{
+			Rule: r.ID(), OpIndex: i, Addr: ci.Group,
+			Message: fmt.Sprintf("counter-atomic switch while counter group %#x (dirtied by store at op %d) is volatile: %s",
+				ci.Group, ci.DirtyAt, why),
+		})
+	})
+	return ds
+}
+
+func (*ruleCounterWriteback) Finish(*State, int) []Diagnostic { return nil }
+
+// ---------------------------------------------------------------------------
+// R4 — payload persisted before the version switch flips.
+
+type ruleSwitchAfterPayload struct{}
+
+func (*ruleSwitchAfterPayload) ID() string { return "R4" }
+func (*ruleSwitchAfterPayload) Doc() string {
+	return "CounterAtomic switch before an earlier store's persist barrier completed"
+}
+
+func (r *ruleSwitchAfterPayload) Check(s *State, i int, op trace.Op) []Diagnostic {
+	if op.Kind != trace.Write || !op.CounterAtomic {
+		return nil
+	}
+	var ds []Diagnostic
+	target := op.Addr.LineAddr()
+	s.Lines(func(li LineInfo) {
+		// The switch line's own prior contents are superseded by this
+		// store; every other unpersisted line is published too early.
+		if li.Addr == target || li.Status == LineClean || li.Status == LinePersisted {
+			return
+		}
+		ds = append(ds, Diagnostic{
+			Rule: r.ID(), OpIndex: i, Addr: li.Addr,
+			Message: fmt.Sprintf("counter-atomic switch while line %#x (stored at op %d) is not persisted (%s)",
+				li.Addr, li.LastStore, lineStatusName(li.Status)),
+		})
+	})
+	return ds
+}
+
+func (*ruleSwitchAfterPayload) Finish(*State, int) []Diagnostic { return nil }
+
+// ---------------------------------------------------------------------------
+// R5 — no in-place mutation before the log entry is valid and persistent.
+
+type ruleMutateAfterValid struct{}
+
+func (*ruleMutateAfterValid) ID() string { return "R5" }
+func (*ruleMutateAfterValid) Doc() string {
+	return "in-place mutation inside a transaction before the log valid switch is persistent"
+}
+
+func (r *ruleMutateAfterValid) Check(s *State, i int, op trace.Op) []Diagnostic {
+	inTx, _ := s.InTx()
+	if op.Kind != trace.Write || op.CounterAtomic || !inTx || !s.KnowsLog() {
+		return nil
+	}
+	if s.IsLog(op.Addr) {
+		return nil // building the log entry is the prepare stage, not a mutation
+	}
+	sw, ok := s.LogSwitch()
+	if ok && sw.Status == LinePersisted {
+		return nil
+	}
+	why := "no counter-atomic log valid switch has occurred"
+	if ok {
+		why = fmt.Sprintf("log valid switch at op %d is not yet persisted (%s)",
+			sw.LastStore, lineStatusName(sw.Status))
+	}
+	return []Diagnostic{{
+		Rule: r.ID(), OpIndex: i, Addr: op.Addr.LineAddr(),
+		Message: fmt.Sprintf("in-place mutation of line %#x while %s", op.Addr.LineAddr(), why),
+	}}
+}
+
+func (*ruleMutateAfterValid) Finish(*State, int) []Diagnostic { return nil }

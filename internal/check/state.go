@@ -1,0 +1,213 @@
+package check
+
+import (
+	"encnvm/internal/mem"
+	"encnvm/internal/trace"
+)
+
+// LineStatus is one data line's position in the persistence lifecycle.
+type LineStatus int
+
+const (
+	// LineClean: never stored to.
+	LineClean LineStatus = iota
+	// LineDirty: stored, no clwb issued since.
+	LineDirty
+	// LineFlushed: clwb issued after the last store, no fence yet — the
+	// writeback is in flight but nothing has ordered it.
+	LineFlushed
+	// LinePersisted: clwb'd and fenced since the last store.
+	LinePersisted
+)
+
+// CtrStatus is one counter line's writeback state. Eight data lines share
+// a counter line, so the unit here is the counter-line group.
+type CtrStatus int
+
+const (
+	// CtrClean: no plain store has dirtied the group's counters (or the
+	// last writeback has fenced).
+	CtrClean CtrStatus = iota
+	// CtrDirty: a plain store bumped a counter in the group and no
+	// counter_cache_writeback has been issued since.
+	CtrDirty
+	// CtrPending: written back but not yet fenced.
+	CtrPending
+)
+
+// LineInfo is one line's state, exposed to rules.
+type LineInfo struct {
+	Addr      mem.Addr
+	Status    LineStatus
+	LastStore int  // op index of the most recent store
+	StoreInTx bool // the most recent store happened inside the open tx
+}
+
+// CtrInfo is one counter-line group's state, exposed to rules.
+type CtrInfo struct {
+	Group   mem.Addr // group base address
+	Status  CtrStatus
+	DirtyAt int // op index of the plain store that last dirtied it
+}
+
+// ctrGroup returns the counter-line group base covering addr, matching
+// the persist runtime's coalescing (mem.CountersPerLine data lines per
+// counter line).
+func ctrGroup(addr mem.Addr) mem.Addr {
+	return addr.LineAddr() &^ (mem.CountersPerLine*mem.LineBytes - 1)
+}
+
+// State is the persistence machine the engine threads through the trace.
+// Rules observe it read-only via the accessor methods.
+type State struct {
+	isLog func(mem.Addr) bool
+
+	lines     map[mem.Addr]*LineInfo
+	lineOrder []mem.Addr // first-touch order, for deterministic scans
+	ctrs      map[mem.Addr]*CtrInfo
+	ctrOrder  []mem.Addr
+
+	inTx    bool
+	txBegin int
+
+	// Log valid switch within the open transaction: the most recent
+	// CounterAtomic store into a log region.
+	switchSeen bool
+	switchAddr mem.Addr
+	switchAt   int
+}
+
+func newState(opts Options) *State {
+	s := &State{
+		lines: make(map[mem.Addr]*LineInfo),
+		ctrs:  make(map[mem.Addr]*CtrInfo),
+	}
+	switch {
+	case opts.IsLog != nil:
+		s.isLog = opts.IsLog
+	case len(opts.Arenas) > 0:
+		arenas := opts.Arenas
+		s.isLog = func(a mem.Addr) bool {
+			for _, ar := range arenas {
+				if a >= ar.LogBase() && a < ar.HeapBase() {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return s
+}
+
+func (s *State) line(a mem.Addr) *LineInfo {
+	a = a.LineAddr()
+	li, ok := s.lines[a]
+	if !ok {
+		li = &LineInfo{Addr: a}
+		s.lines[a] = li
+		s.lineOrder = append(s.lineOrder, a)
+	}
+	return li
+}
+
+func (s *State) ctr(a mem.Addr) *CtrInfo {
+	g := ctrGroup(a)
+	ci, ok := s.ctrs[g]
+	if !ok {
+		ci = &CtrInfo{Group: g}
+		s.ctrs[g] = ci
+		s.ctrOrder = append(s.ctrOrder, g)
+	}
+	return ci
+}
+
+// apply advances the machine by one (already validated) op.
+func (s *State) apply(i int, op trace.Op) {
+	switch op.Kind {
+	case trace.Write:
+		li := s.line(op.Addr)
+		li.Status = LineDirty
+		li.LastStore = i
+		li.StoreInTx = s.inTx
+		if op.CounterAtomic {
+			// The hardware persists this line's counter atomically with
+			// its data (§4.3), so the store does not leave the group's
+			// counters dirty. Inside a transaction, a counter-atomic
+			// store into the log region is the valid-flag switch.
+			if s.inTx && s.isLog != nil && s.isLog(op.Addr) {
+				s.switchSeen = true
+				s.switchAddr = op.Addr.LineAddr()
+				s.switchAt = i
+			}
+		} else {
+			ci := s.ctr(op.Addr)
+			ci.Status = CtrDirty
+			ci.DirtyAt = i
+		}
+	case trace.Clwb:
+		// A clwb of a clean or already-persisted line is harmless; only
+		// a dirty line advances. A line flushed twice stays flushed.
+		if li := s.line(op.Addr); li.Status == LineDirty {
+			li.Status = LineFlushed
+		}
+	case trace.CCWB:
+		// Writes back the counters dirtied so far; a store after the
+		// writeback re-dirties the group.
+		if ci := s.ctr(op.Addr); ci.Status == CtrDirty {
+			ci.Status = CtrPending
+		}
+	case trace.Sfence:
+		for _, a := range s.lineOrder {
+			if s.lines[a].Status == LineFlushed {
+				s.lines[a].Status = LinePersisted
+			}
+		}
+		for _, g := range s.ctrOrder {
+			if s.ctrs[g].Status == CtrPending {
+				s.ctrs[g].Status = CtrClean
+			}
+		}
+	case trace.TxBegin:
+		s.inTx = true
+		s.txBegin = i
+		s.switchSeen = false
+	case trace.TxEnd:
+		s.inTx = false
+		s.switchSeen = false
+		for _, a := range s.lineOrder {
+			s.lines[a].StoreInTx = false
+		}
+	}
+}
+
+// InTx reports whether a transaction is open, and since which op.
+func (s *State) InTx() (bool, int) { return s.inTx, s.txBegin }
+
+// KnowsLog reports whether a log-region classifier is configured.
+func (s *State) KnowsLog() bool { return s.isLog != nil }
+
+// IsLog reports whether addr falls in a known log region.
+func (s *State) IsLog(a mem.Addr) bool { return s.isLog != nil && s.isLog(a) }
+
+// LogSwitch returns the open transaction's most recent counter-atomic log
+// store (the valid-flag switch), if one has occurred.
+func (s *State) LogSwitch() (LineInfo, bool) {
+	if !s.switchSeen {
+		return LineInfo{}, false
+	}
+	return *s.lines[s.switchAddr], true
+}
+
+// Lines visits every tracked line in first-touch order.
+func (s *State) Lines(fn func(LineInfo)) {
+	for _, a := range s.lineOrder {
+		fn(*s.lines[a])
+	}
+}
+
+// CtrGroups visits every tracked counter group in first-touch order.
+func (s *State) CtrGroups(fn func(CtrInfo)) {
+	for _, g := range s.ctrOrder {
+		fn(*s.ctrs[g])
+	}
+}

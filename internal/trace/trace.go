@@ -74,6 +74,59 @@ type Op struct {
 	Cycles        uint32   // Compute: core cycles of non-memory work
 }
 
+// Validate rejects structurally malformed operations. Each payload field
+// is meaningful for specific kinds only; an op carrying a field it must
+// not — a clwb with line data, a compute with an address — is not a legal
+// output of the persist runtime and means the trace was corrupted or
+// mis-assembled, so downstream consumers (replay, the crash harness, the
+// internal/check linter) must not trust it.
+func (op Op) Validate() error {
+	var zero mem.Line
+	switch op.Kind {
+	case Read:
+		if op.Line != zero {
+			return fmt.Errorf("read carrying line data")
+		}
+		if op.CounterAtomic {
+			return fmt.Errorf("read marked CounterAtomic")
+		}
+		if op.Cycles != 0 {
+			return fmt.Errorf("read carrying compute cycles")
+		}
+	case Write:
+		if op.Cycles != 0 {
+			return fmt.Errorf("write carrying compute cycles")
+		}
+	case Clwb, CCWB:
+		if op.Line != zero {
+			return fmt.Errorf("%v carrying line data", op.Kind)
+		}
+		if op.CounterAtomic {
+			return fmt.Errorf("%v marked CounterAtomic", op.Kind)
+		}
+		if op.Cycles != 0 {
+			return fmt.Errorf("%v carrying compute cycles", op.Kind)
+		}
+		if op.Addr.LineOffset() != 0 {
+			return fmt.Errorf("%v target %#x not line-aligned", op.Kind, op.Addr)
+		}
+	case Sfence, TxBegin, TxEnd:
+		if op.Addr != 0 || op.Line != zero || op.CounterAtomic || op.Cycles != 0 {
+			return fmt.Errorf("%v carrying an operand", op.Kind)
+		}
+	case Compute:
+		if op.Cycles == 0 {
+			return fmt.Errorf("zero-cycle compute")
+		}
+		if op.Addr != 0 || op.Line != zero || op.CounterAtomic {
+			return fmt.Errorf("compute carrying a memory operand")
+		}
+	default:
+		return fmt.Errorf("unknown kind %d", int(op.Kind))
+	}
+	return nil
+}
+
 // Trace is one core's operation stream.
 type Trace struct {
 	Ops []Op
@@ -111,11 +164,14 @@ func (t *Trace) Transactions() int {
 	return ends
 }
 
-// Validate checks structural sanity: line-aligned clwb/ccwb targets and
-// balanced transaction markers.
+// Validate checks structural sanity: every op well-formed per
+// Op.Validate, and balanced transaction markers.
 func (t *Trace) Validate() error {
 	depth := 0
 	for i, op := range t.Ops {
+		if err := op.Validate(); err != nil {
+			return fmt.Errorf("trace: op %d: %w", i, err)
+		}
 		switch op.Kind {
 		case TxBegin:
 			depth++
@@ -123,10 +179,6 @@ func (t *Trace) Validate() error {
 			depth--
 			if depth < 0 {
 				return fmt.Errorf("trace: TxEnd without TxBegin at op %d", i)
-			}
-		case Compute:
-			if op.Cycles == 0 {
-				return fmt.Errorf("trace: zero-cycle compute at op %d", i)
 			}
 		}
 	}
