@@ -17,6 +17,7 @@ import (
 	"encnvm/internal/ctrenc"
 	"encnvm/internal/exp"
 	"encnvm/internal/mem"
+	"encnvm/internal/probe"
 	"encnvm/internal/sim"
 	"encnvm/internal/workloads"
 )
@@ -286,4 +287,38 @@ func BenchmarkReplayPerDesign(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkReplayObserved measures the same replay with the observability
+// layer in its three states: detached (the nil-probe hot path every normal
+// run pays), sink-attached tracing, and windowed metrics. Compare the
+// detached case against BenchmarkReplayPerDesign/SCA to see the cost of
+// the nil checks — it must stay in the noise.
+func BenchmarkReplayObserved(b *testing.B) {
+	w, _ := workloads.ByName("btree")
+	traces := crash.BuildTraces(w, workloads.Params{Seed: 1, Items: 256, Ops: 64}, 1)
+	run := func(b *testing.B, pb *probe.Probe) {
+		res, err := core.RunTracesObserved(config.Default(config.SCA), w.Name(), traces, pb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pb.Close(res.System.Eng.Now()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("detached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, nil)
+		}
+	})
+	b.Run("trace", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, probe.New().AttachTrace(io.Discard))
+		}
+	})
+	b.Run("metrics", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, probe.New().AttachMetrics(io.Discard, sim.Microsecond))
+		}
+	})
 }

@@ -1,20 +1,27 @@
 // Command nvmsim runs one workload under one memory-system design and
-// prints the run's measurements and detailed statistics.
+// prints the run's measurements and detailed statistics. With the
+// observability flags it additionally emits a Perfetto timeline of the
+// run, windowed JSONL metrics, and a machine-readable run manifest.
 //
 // Usage:
 //
 //	nvmsim [-design sca] [-workload btree] [-cores 1] [-items N] [-ops N]
-//	       [-opspertx N] [-seed N] [-verify] [-stats]
+//	       [-opspertx N] [-seed N] [-verify] [-stats] [-json]
+//	       [-trace-out run.trace.json] [-metrics-out run.metrics.jsonl]
+//	       [-metrics-window-ns 1000] [-manifest-out run.manifest.json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"encnvm/internal/config"
 	"encnvm/internal/core"
+	"encnvm/internal/probe"
+	"encnvm/internal/sim"
 	"encnvm/internal/workloads"
 )
 
@@ -31,7 +38,7 @@ var designByName = map[string]config.Design{
 
 func main() {
 	design := flag.String("design", "sca", "design: noenc|ideal|colocated|colocatedcc|fca|sca|osiris")
-	workload := flag.String("workload", "btree", "workload: "+strings.Join(workloads.Names(), "|"))
+	workload := flag.String("workload", "btree", "workload: "+strings.Join(workloads.ExtendedNames(), "|"))
 	cores := flag.Int("cores", 1, "number of cores")
 	items := flag.Int("items", 4096, "initial structure population")
 	ops := flag.Int("ops", 256, "measured operations per core")
@@ -39,42 +46,113 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload RNG seed")
 	verify := flag.Bool("verify", true, "validate the final NVM image end-to-end")
 	showStats := flag.Bool("stats", false, "dump detailed statistics")
+	jsonOut := flag.Bool("json", false, "print the run manifest as JSON on stdout instead of text")
+	traceOut := flag.String("trace-out", "", "write a Perfetto/chrome://tracing timeline (simulated time) to this file")
+	metricsOut := flag.String("metrics-out", "", "write windowed JSONL time-series metrics to this file")
+	metricsWindowNS := flag.Uint64("metrics-window-ns", 1000, "metrics window length in simulated nanoseconds")
+	manifestOut := flag.String("manifest-out", "", "write the machine-readable run manifest to this file")
 	flag.Parse()
 
 	d, ok := designByName[*design]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
+		fmt.Fprintf(os.Stderr, "unknown design %q (valid: noenc|ideal|colocated|colocatedcc|fca|sca|osiris)\n", *design)
 		os.Exit(2)
+	}
+	if _, err := workloads.ByName(*workload); err != nil {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (valid: %s)\n",
+			*workload, strings.Join(workloads.ExtendedNames(), "|"))
+		os.Exit(2)
+	}
+
+	var pb *probe.Probe
+	var sinks []*os.File
+	openSink := func(path string) io.Writer {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sinks = append(sinks, f)
+		return f
+	}
+	if *traceOut != "" || *metricsOut != "" {
+		pb = probe.New()
+		if *traceOut != "" {
+			pb.AttachTrace(openSink(*traceOut))
+		}
+		if *metricsOut != "" {
+			pb.AttachMetrics(openSink(*metricsOut), sim.Time(*metricsWindowNS)*sim.Nanosecond)
+		}
+	}
+
+	params := workloads.Params{
+		Seed: *seed, Items: *items, Ops: *ops, OpsPerTx: *opsPerTx,
 	}
 	res, err := core.RunWorkload(core.Options{
 		Design:   d,
 		Workload: *workload,
 		Cores:    *cores,
-		Params: workloads.Params{
-			Seed: *seed, Items: *items, Ops: *ops, OpsPerTx: *opsPerTx,
-		},
+		Params:   params,
+		Probe:    pb,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if err := pb.Close(res.System.Eng.Now()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, f := range sinks {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
-	fmt.Printf("design            %v\n", res.Design)
-	fmt.Printf("workload          %s (%d cores)\n", res.Workload, res.Cores)
-	fmt.Printf("transactions      %d\n", res.Transactions)
-	fmt.Printf("measured runtime  %.1f us\n", res.Runtime.Nanoseconds()/1000)
-	fmt.Printf("total runtime     %.1f us (incl. setup)\n", res.TotalRuntime.Nanoseconds()/1000)
-	fmt.Printf("throughput        %.0f tx/s\n", res.Throughput)
-	fmt.Printf("NVM bytes written %d\n", res.BytesWritten)
+	if *manifestOut != "" || *jsonOut {
+		m := core.BuildManifest(res, params.WithDefaults())
+		if *manifestOut != "" {
+			f, err := os.Create(*manifestOut)
+			if err == nil {
+				err = m.Encode(f)
+			}
+			if err == nil {
+				err = f.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *jsonOut {
+			if err := m.Encode(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if !*jsonOut {
+		fmt.Printf("design            %v\n", res.Design)
+		fmt.Printf("workload          %s (%d cores)\n", res.Workload, res.Cores)
+		fmt.Printf("transactions      %d\n", res.Transactions)
+		fmt.Printf("measured runtime  %.1f us\n", res.Runtime.Nanoseconds()/1000)
+		fmt.Printf("total runtime     %.1f us (incl. setup)\n", res.TotalRuntime.Nanoseconds()/1000)
+		fmt.Printf("throughput        %.0f tx/s\n", res.Throughput)
+		fmt.Printf("NVM bytes written %d\n", res.BytesWritten)
+	}
 
 	if *verify {
 		if err := core.VerifyResult(res); err != nil {
 			fmt.Fprintf(os.Stderr, "VERIFICATION FAILED: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Println("verification      final NVM image decrypts and validates OK")
+		if !*jsonOut {
+			fmt.Println("verification      final NVM image decrypts and validates OK")
+		}
 	}
-	if *showStats {
+	if *showStats && !*jsonOut {
 		fmt.Println("\n--- statistics ---")
 		fmt.Print(res.Stats.String())
 	}

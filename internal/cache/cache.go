@@ -161,6 +161,21 @@ func (c *Cache) Invalidate(addr mem.Addr) (present, dirty bool) {
 	return false, false
 }
 
+// DirtyCount returns the number of resident dirty lines without
+// allocating — the cheap occupancy gauge the observability layer samples
+// every metrics window.
+func (c *Cache) DirtyCount() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, w := range set {
+			if w.valid && w.dirty {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // DirtyLines returns the addresses of all resident dirty lines, in address
 // order within each set (deterministic).
 func (c *Cache) DirtyLines() []mem.Addr {

@@ -242,3 +242,20 @@ func TestFullSizeCachesConstruct(t *testing.T) {
 		}
 	}
 }
+
+func TestDirtyCountMatchesDirtyLines(t *testing.T) {
+	c := tiny()
+	if c.DirtyCount() != 0 {
+		t.Fatal("fresh cache has dirty lines")
+	}
+	c.Access(0, true)
+	c.Access(64, true)
+	c.Access(128, false)
+	if got, want := c.DirtyCount(), len(c.DirtyLines()); got != want || got != 2 {
+		t.Fatalf("DirtyCount = %d, DirtyLines = %d, want 2", got, want)
+	}
+	c.Clean(0)
+	if got := c.DirtyCount(); got != 1 {
+		t.Fatalf("after Clean, DirtyCount = %d, want 1", got)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"encnvm/internal/config"
 	"encnvm/internal/crash"
 	"encnvm/internal/persist"
+	"encnvm/internal/probe"
 	"encnvm/internal/replay"
 	"encnvm/internal/sim"
 	"encnvm/internal/stats"
@@ -36,6 +37,9 @@ type Options struct {
 	// Config overrides the derived configuration entirely when non-nil
 	// (used by the sensitivity sweeps).
 	Config *config.Config
+	// Probe, when non-nil, attaches the observability layer (timeline,
+	// windowed metrics) to the run. The caller owns Probe.Close.
+	Probe *probe.Probe
 }
 
 func (o Options) build() (*config.Config, workloads.Workload, error) {
@@ -76,13 +80,20 @@ func RunWorkload(o Options) (Result, error) {
 		return Result{}, err
 	}
 	traces := crash.BuildTraces(w, o.Params.WithDefaults(), cfg.NumCores)
-	return RunTraces(cfg, w.Name(), traces)
+	return RunTracesObserved(cfg, w.Name(), traces, o.Probe)
 }
 
 // RunTraces replays pre-built traces under the given configuration. Using
 // the same traces across designs gives the controlled comparison the
 // paper's figures rely on.
 func RunTraces(cfg *config.Config, workload string, traces []*trace.Trace) (Result, error) {
+	return RunTracesObserved(cfg, workload, traces, nil)
+}
+
+// RunTracesObserved is RunTraces with an observability probe attached to
+// the system for the duration of the run (nil probe means no observation).
+// The caller finalizes the probe with Close after inspecting the result.
+func RunTracesObserved(cfg *config.Config, workload string, traces []*trace.Trace, pb *probe.Probe) (Result, error) {
 	sys, err := replay.New(cfg, traces)
 	if err != nil {
 		return Result{}, err
@@ -90,6 +101,7 @@ func RunTraces(cfg *config.Config, workload string, traces []*trace.Trace) (Resu
 	// Timing-only runs need no per-write history; dropping it bounds
 	// memory on publication-scale sweeps.
 	sys.Dev.Image().SetRetainLog(false)
+	sys.AttachProbe(pb)
 	rt := sys.Run()
 	return Result{
 		Design:       cfg.Design,

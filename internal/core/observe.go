@@ -1,0 +1,84 @@
+// Manifest assembly: flattening one run's result into the machine-readable
+// probe.Manifest document that cmd/nvmsim writes, cmd/statdiff compares,
+// and CI archives as BENCH_*.json.
+
+package core
+
+import (
+	"encnvm/internal/probe"
+	"encnvm/internal/stats"
+	"encnvm/internal/workloads"
+)
+
+// BuildManifest flattens a completed run into its manifest document. p is
+// the workload parameterization the run was built from (pass the same
+// value given to RunWorkload, after WithDefaults if applied manually).
+func BuildManifest(res Result, p workloads.Params) *probe.Manifest {
+	sys := res.System
+	cfg := sys.Cfg
+	m := &probe.Manifest{
+		Schema:   probe.ManifestSchema,
+		Design:   res.Design.String(),
+		Workload: res.Workload,
+		Cores:    res.Cores,
+		Params: probe.ManifestParams{
+			Seed:          p.Seed,
+			Items:         p.Items,
+			Ops:           p.Ops,
+			OpsPerTx:      p.OpsPerTx,
+			ComputeCycles: p.ComputeCycles,
+			Legacy:        p.Legacy,
+			TxMode:        p.TxMode.String(),
+		},
+		Config: probe.ManifestConfig{
+			Banks:             cfg.Banks,
+			BusBytes:          cfg.BusBytes,
+			ReadQueueEntries:  cfg.ReadQueueEntries,
+			DataWriteQueue:    cfg.DataWriteQueue,
+			CounterWriteQueue: cfg.CounterWriteQueue,
+			L1Bytes:           cfg.L1.SizeBytes,
+			L2Bytes:           cfg.L2.SizeBytes,
+			CounterCacheBytes: cfg.CounterCache.SizeBytes,
+			CryptoLatencyPs:   uint64(cfg.CryptoLatency),
+			MemoryBytes:       cfg.MemoryBytes,
+			StopLoss:          cfg.StopLoss,
+			ReadLatencyX:      cfg.ReadLatencyX,
+			WriteLatencyX:     cfg.WriteLatencyX,
+		},
+		Results: probe.ManifestResult{
+			RuntimePs:          uint64(res.Runtime),
+			TotalRuntimePs:     uint64(res.TotalRuntime),
+			Transactions:       res.Transactions,
+			ThroughputTxPerSec: res.Throughput,
+			BytesWritten:       res.BytesWritten,
+			SimEvents:          sys.Eng.Steps(),
+		},
+		Counters:  res.Stats.Counters(),
+		TimesPs:   make(map[string]uint64),
+		Latencies: make(map[string]probe.LatencySummary),
+	}
+	lines, total, hottest := sys.Dev.Wear()
+	m.Results.WearLines = lines
+	m.Results.WearTotalWrites = total
+	m.Results.WearHottestLine = hottest
+	for name, t := range res.Stats.Times() {
+		m.TimesPs[name] = uint64(t)
+	}
+	for name, l := range res.Stats.Latencies() {
+		m.Latencies[name] = summarize(l)
+	}
+	return m
+}
+
+func summarize(l *stats.Latency) probe.LatencySummary {
+	return probe.LatencySummary{
+		Count:    l.Count(),
+		MeanPs:   uint64(l.Mean()),
+		MinPs:    uint64(l.Min()),
+		MaxPs:    uint64(l.Max()),
+		P50Ps:    uint64(l.Quantile(0.50)),
+		P95Ps:    uint64(l.Quantile(0.95)),
+		P99Ps:    uint64(l.Quantile(0.99)),
+		HistLog2: l.HistogramLog2(),
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"encnvm/internal/ctrenc"
 	"encnvm/internal/mem"
 	"encnvm/internal/nvm"
+	"encnvm/internal/probe"
 	"encnvm/internal/sim"
 	"encnvm/internal/stats"
 )
@@ -100,6 +101,11 @@ type Controller struct {
 	pending   []*writeReq // FIFO accept queue (backpressure)
 	accepting bool        // reentrancy guard for tryAccept
 
+	// pb, when non-nil, receives acceptance spans, encryption-pipeline
+	// occupancy, and queue-depth samples. Nil by default (one nil check
+	// on the hot paths).
+	pb *probe.Probe
+
 	// The scheduler dispatches a bounded number of device writes per
 	// queue; entries waiting behind the window remain coalescible, which
 	// is where SCA's counter-write coalescing (§6.3.3) happens.
@@ -148,6 +154,30 @@ func (mc *Controller) Encryption() *ctrenc.Engine { return mc.enc }
 
 // Layout returns the data/counter address layout.
 func (mc *Controller) Layout() mem.Layout { return mc.layout }
+
+// SetProbe attaches the observability probe (nil detaches it).
+func (mc *Controller) SetProbe(p *probe.Probe) { mc.pb = p }
+
+// probeQueues samples the queue depths into the timeline's counter track.
+func (mc *Controller) probeQueues() {
+	if mc.pb == nil {
+		return
+	}
+	mc.pb.QueueDepth(mc.eng.Now(), len(mc.dataQ), len(mc.counterQ), len(mc.pending))
+}
+
+// DirtyCounterCount reports the number of dirty counter-cache lines (0
+// when the design has no counter cache) — an observability gauge.
+func (mc *Controller) DirtyCounterCount() int {
+	if mc.ctrC == nil {
+		return 0
+	}
+	return mc.ctrC.DirtyCount()
+}
+
+// EncryptedWrites reports how many line encryptions the controller has
+// performed (the global counter-advance count).
+func (mc *Controller) EncryptedWrites() uint64 { return mc.ctrs.Global() }
 
 // ---------------------------------------------------------------------------
 // Read path
@@ -374,6 +404,7 @@ func (mc *Controller) tryAccept() {
 	}
 	mc.accepting = true
 	defer func() { mc.accepting = false }()
+	defer mc.probeQueues()
 
 	fifo := mc.cfg.Design == config.FCA
 	// blockedLines is bounded by acceptWindow, so a linear scan beats a
@@ -505,6 +536,14 @@ func (mc *Controller) acceptData(req *writeReq) {
 		mc.stopLoss(req.addr, cryptoDelay)
 	} else {
 		cipher = req.plain
+	}
+	if mc.pb != nil {
+		if req.ca {
+			mc.pb.CAWrite(uint64(req.addr), req.arrival, now)
+		}
+		if cryptoDelay > 0 {
+			mc.pb.Encrypt(uint64(req.addr), now, now+cryptoDelay)
+		}
 	}
 
 	// A non-CA write to a line already queued but not dispatched

@@ -12,6 +12,7 @@ package nvm
 import (
 	"encnvm/internal/config"
 	"encnvm/internal/mem"
+	"encnvm/internal/probe"
 	"encnvm/internal/sim"
 	"encnvm/internal/stats"
 )
@@ -37,6 +38,11 @@ type Device struct {
 	image *mem.Image
 	st    *stats.Stats
 
+	// pb, when non-nil, receives per-bank and bus busy intervals for the
+	// observability timeline. Nil by default: the hot paths pay one nil
+	// check and nothing else.
+	pb *probe.Probe
+
 	// wear counts device writes per line for endurance analysis
 	// (§6.3.3: PCM cells endure a bounded number of writes).
 	wear map[mem.Addr]uint64
@@ -60,6 +66,9 @@ func New(eng *sim.Engine, cfg *config.Config, st *stats.Stats) *Device {
 // Layout returns the device's data/counter address layout.
 func (d *Device) Layout() mem.Layout { return d.layout }
 
+// SetProbe attaches the observability probe (nil detaches it).
+func (d *Device) SetProbe(p *probe.Probe) { d.pb = p }
+
 // Image returns the functional contents with write timestamps.
 func (d *Device) Image() *mem.Image { return d.image }
 
@@ -79,8 +88,13 @@ func (d *Device) bankIndex(addr mem.Addr) int {
 func (d *Device) Read(addr mem.Addr, nbytes int, done func(data mem.Line, ok bool)) {
 	addr = addr.LineAddr()
 	now := d.eng.Now()
-	_, bankEnd := d.readBanks[d.bankIndex(addr)].Reserve(now, d.timing.TRCD+d.timing.TCL)
-	_, busEnd := d.bus.Reserve(bankEnd, d.cfg.BurstTime(nbytes))
+	bank := d.bankIndex(addr)
+	bankStart, bankEnd := d.readBanks[bank].Reserve(now, d.timing.TRCD+d.timing.TCL)
+	busStart, busEnd := d.bus.Reserve(bankEnd, d.cfg.BurstTime(nbytes))
+	if d.pb != nil {
+		d.pb.BankBusy(false, bank, uint64(addr), bankStart, bankEnd)
+		d.pb.BusBusy(uint64(addr), busStart, busEnd)
+	}
 
 	d.st.Inc(stats.Reads, 1)
 	d.st.Inc(stats.BytesRead, uint64(nbytes))
@@ -101,8 +115,13 @@ func (d *Device) Read(addr mem.Addr, nbytes int, done func(data mem.Line, ok boo
 func (d *Device) Write(addr mem.Addr, data mem.Line, nbytes int, tag uint64, sum uint16, done func()) {
 	addr = addr.LineAddr()
 	now := d.eng.Now()
-	_, busEnd := d.bus.Reserve(now, d.cfg.BurstTime(nbytes))
-	_, bankEnd := d.writeBanks[d.bankIndex(addr)].Reserve(busEnd, d.timing.TCWD+d.timing.TWR)
+	bank := d.bankIndex(addr)
+	busStart, busEnd := d.bus.Reserve(now, d.cfg.BurstTime(nbytes))
+	bankStart, bankEnd := d.writeBanks[bank].Reserve(busEnd, d.timing.TCWD+d.timing.TWR)
+	if d.pb != nil {
+		d.pb.BusBusy(uint64(addr), busStart, busEnd)
+		d.pb.BankBusy(true, bank, uint64(addr), bankStart, bankEnd)
+	}
 
 	if d.layout.IsCounter(addr) {
 		d.st.Inc(stats.CounterWrites, 1)

@@ -1,0 +1,118 @@
+// The run manifest: one machine-readable JSON document per simulation run,
+// capturing what ran (design, workload, parameters, configuration) and what
+// happened (runtime, throughput, every stats counter and time bucket, and
+// latency distributions with log₂ histograms and p50/p95/p99). Manifests
+// are the diffable unit of the repository's performance trajectory: two of
+// them feed cmd/statdiff, and CI archives one per run as BENCH_*.json.
+//
+// Encoding is deterministic: encoding/json sorts map keys, struct fields
+// are fixed, and all values derive from the deterministic simulation.
+
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ManifestSchema identifies the manifest document format.
+const ManifestSchema = "encnvm/run-manifest/v1"
+
+// Manifest is the end-of-run document.
+type Manifest struct {
+	Schema   string         `json:"schema"`
+	Design   string         `json:"design"`
+	Workload string         `json:"workload"`
+	Cores    int            `json:"cores"`
+	Params   ManifestParams `json:"params"`
+	Config   ManifestConfig `json:"config"`
+	Results  ManifestResult `json:"results"`
+	// Counters holds every stats event counter by name.
+	Counters map[string]uint64 `json:"counters"`
+	// TimesPs holds every accumulated stats time bucket, in picoseconds.
+	TimesPs map[string]uint64 `json:"times_ps"`
+	// Latencies holds every latency distribution summary, in picoseconds.
+	Latencies map[string]LatencySummary `json:"latencies_ps"`
+}
+
+// ManifestParams records the workload parameters, including the RNG seed
+// that (with the config) fully determines the run.
+type ManifestParams struct {
+	Seed          int64  `json:"seed"`
+	Items         int    `json:"items"`
+	Ops           int    `json:"ops"`
+	OpsPerTx      int    `json:"ops_per_tx"`
+	ComputeCycles uint32 `json:"compute_cycles"`
+	Legacy        bool   `json:"legacy"`
+	TxMode        string `json:"tx_mode"`
+}
+
+// ManifestConfig records the simulated hardware configuration knobs that
+// distinguish runs.
+type ManifestConfig struct {
+	Banks             int     `json:"banks"`
+	BusBytes          int     `json:"bus_bytes"`
+	ReadQueueEntries  int     `json:"read_queue_entries"`
+	DataWriteQueue    int     `json:"data_write_queue"`
+	CounterWriteQueue int     `json:"counter_write_queue"`
+	L1Bytes           int     `json:"l1_bytes"`
+	L2Bytes           int     `json:"l2_bytes"`
+	CounterCacheBytes int     `json:"counter_cache_bytes"`
+	CryptoLatencyPs   uint64  `json:"crypto_latency_ps"`
+	MemoryBytes       uint64  `json:"memory_bytes"`
+	StopLoss          int     `json:"stop_loss"`
+	ReadLatencyX      float64 `json:"read_latency_x"`
+	WriteLatencyX     float64 `json:"write_latency_x"`
+}
+
+// ManifestResult records the headline measurements.
+type ManifestResult struct {
+	RuntimePs          uint64  `json:"runtime_ps"`
+	TotalRuntimePs     uint64  `json:"total_runtime_ps"`
+	Transactions       int     `json:"transactions"`
+	ThroughputTxPerSec float64 `json:"throughput_tx_per_sec"`
+	BytesWritten       uint64  `json:"bytes_written"`
+	SimEvents          uint64  `json:"sim_events"`
+	WearLines          int     `json:"wear_lines"`
+	WearTotalWrites    uint64  `json:"wear_total_writes"`
+	WearHottestLine    uint64  `json:"wear_hottest_line"`
+}
+
+// LatencySummary is one latency distribution: moments, quantiles, and the
+// log₂ histogram (bucket i counts samples whose value has bit length i,
+// i.e. lies in [2^(i-1), 2^i); trailing zero buckets trimmed).
+type LatencySummary struct {
+	Count    uint64   `json:"count"`
+	MeanPs   uint64   `json:"mean"`
+	MinPs    uint64   `json:"min"`
+	MaxPs    uint64   `json:"max"`
+	P50Ps    uint64   `json:"p50"`
+	P95Ps    uint64   `json:"p95"`
+	P99Ps    uint64   `json:"p99"`
+	HistLog2 []uint64 `json:"hist_log2,omitempty"`
+}
+
+// Encode writes the manifest as indented JSON with a trailing newline.
+func (m *Manifest) Encode(w io.Writer) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("probe: encoding manifest: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// DecodeManifest reads one manifest document and checks its schema tag.
+func DecodeManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("probe: decoding manifest: %w", err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("probe: unknown manifest schema %q (want %q)", m.Schema, ManifestSchema)
+	}
+	return &m, nil
+}

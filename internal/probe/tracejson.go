@@ -1,0 +1,186 @@
+// Chrome trace-event JSON emission (the "JSON Array Format" with a
+// surrounding object, as read by Perfetto and chrome://tracing).
+//
+// Timestamps are simulated time. The trace-event format expresses "ts" and
+// "dur" in microseconds; simulated picoseconds are rendered as exact
+// decimal microseconds (e.g. 1500ps → "0.0015"), so no precision is lost
+// and the output is byte-deterministic.
+
+package probe
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"encnvm/internal/sim"
+)
+
+// TraceWriter streams trace events to an underlying writer. Events must be
+// emitted from the simulation event loop (single-threaded); errors are
+// sticky and surfaced by Close.
+type TraceWriter struct {
+	w     *bufio.Writer
+	buf   []byte // per-event scratch, reused
+	first bool
+	err   error
+}
+
+// NewTraceWriter starts a trace-event document on w.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	t := &TraceWriter{w: bufio.NewWriterSize(w, 64<<10), first: true}
+	_, t.err = t.w.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	return t
+}
+
+// Close terminates the JSON document and flushes. It returns the first
+// error encountered while writing.
+func (t *TraceWriter) Close() error {
+	if t.err == nil {
+		_, t.err = t.w.WriteString("\n]}\n")
+	}
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// appendUS renders a simulated instant or duration as exact decimal
+// microseconds (trace-event time unit).
+func appendUS(b []byte, v sim.Time) []byte {
+	const psPerUS = 1_000_000
+	b = strconv.AppendUint(b, uint64(v)/psPerUS, 10)
+	frac := uint64(v) % psPerUS
+	if frac == 0 {
+		return b
+	}
+	var d [6]byte
+	for i := 5; i >= 0; i-- {
+		d[i] = byte('0' + frac%10)
+		frac /= 10
+	}
+	n := 6
+	for n > 0 && d[n-1] == '0' {
+		n--
+	}
+	b = append(b, '.')
+	return append(b, d[:n]...)
+}
+
+// begin opens one event object, handling the separating comma.
+func (t *TraceWriter) begin() []byte {
+	b := t.buf[:0]
+	if t.first {
+		t.first = false
+		b = append(b, '\n')
+	} else {
+		b = append(b, ",\n"...)
+	}
+	return b
+}
+
+// flushEvent writes the assembled event.
+func (t *TraceWriter) flushEvent(b []byte) {
+	t.buf = b
+	if t.err != nil {
+		return
+	}
+	_, t.err = t.w.Write(b)
+}
+
+// header appends the common prefix: {"name":NAME,"ph":PH,"pid":P,"tid":T,"ts":TS
+// Names are code-controlled ASCII identifiers and are not escaped.
+func appendHeader(b []byte, name string, ph byte, pid, tid int, ts sim.Time) []byte {
+	b = append(b, `{"name":"`...)
+	b = append(b, name...)
+	b = append(b, `","ph":"`...)
+	b = append(b, ph)
+	b = append(b, `","pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"ts":`...)
+	return appendUS(b, ts)
+}
+
+// Complete emits a complete ("X") event spanning [start, end).
+func (t *TraceWriter) Complete(pid, tid int, name string, start, end sim.Time) {
+	b := t.begin()
+	b = appendHeader(b, name, 'X', pid, tid, start)
+	b = append(b, `,"dur":`...)
+	b = appendUS(b, end-start)
+	b = append(b, '}')
+	t.flushEvent(b)
+}
+
+// CompleteAddr is Complete with the target line address as an argument.
+func (t *TraceWriter) CompleteAddr(pid, tid int, name string, start, end sim.Time, addr uint64) {
+	b := t.begin()
+	b = appendHeader(b, name, 'X', pid, tid, start)
+	b = append(b, `,"dur":`...)
+	b = appendUS(b, end-start)
+	b = append(b, `,"args":{"addr":"0x`...)
+	b = strconv.AppendUint(b, addr, 16)
+	b = append(b, `"}}`...)
+	t.flushEvent(b)
+}
+
+// Begin opens a duration ("B") event; spans on one tid nest.
+func (t *TraceWriter) Begin(pid, tid int, name string, ts sim.Time) {
+	b := t.begin()
+	b = appendHeader(b, name, 'B', pid, tid, ts)
+	b = append(b, '}')
+	t.flushEvent(b)
+}
+
+// End closes the innermost open duration ("E") event on (pid, tid).
+func (t *TraceWriter) End(pid, tid int, ts sim.Time) {
+	b := t.begin()
+	b = appendHeader(b, "", 'E', pid, tid, ts)
+	b = append(b, '}')
+	t.flushEvent(b)
+}
+
+// CounterKV is one series of a counter track sample.
+type CounterKV struct {
+	K string
+	V int64
+}
+
+// Counter emits a counter ("C") event with one value per series.
+func (t *TraceWriter) Counter(pid int, name string, ts sim.Time, kvs ...CounterKV) {
+	b := t.begin()
+	b = appendHeader(b, name, 'C', pid, 0, ts)
+	b = append(b, `,"args":{`...)
+	for i, kv := range kvs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '"')
+		b = append(b, kv.K...)
+		b = append(b, `":`...)
+		b = strconv.AppendInt(b, kv.V, 10)
+	}
+	b = append(b, `}}`...)
+	t.flushEvent(b)
+}
+
+// ProcessName emits the metadata event naming a process track.
+func (t *TraceWriter) ProcessName(pid int, name string) { t.meta("process_name", pid, 0, name) }
+
+// ThreadName emits the metadata event naming a thread track.
+func (t *TraceWriter) ThreadName(pid, tid int, name string) { t.meta("thread_name", pid, tid, name) }
+
+func (t *TraceWriter) meta(kind string, pid, tid int, name string) {
+	b := t.begin()
+	b = append(b, `{"name":"`...)
+	b = append(b, kind...)
+	b = append(b, `","ph":"M","pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"args":{"name":"`...)
+	b = append(b, name...)
+	b = append(b, `"}}`...)
+	t.flushEvent(b)
+}

@@ -20,6 +20,7 @@ import (
 	"encnvm/internal/mem"
 	"encnvm/internal/memctrl"
 	"encnvm/internal/nvm"
+	"encnvm/internal/probe"
 	"encnvm/internal/sim"
 	"encnvm/internal/stats"
 	"encnvm/internal/trace"
@@ -35,6 +36,7 @@ type System struct {
 
 	l2    *cache.Cache
 	cores []*core
+	pb    *probe.Probe // nil unless observability is attached
 
 	// plain is the replay-time plaintext program image, updated in
 	// program order per core as store ops execute.
@@ -66,7 +68,20 @@ type core struct {
 	done        bool
 	doneAt      sim.Time
 	txEnds      []sim.Time // completion time of each transaction
+
+	// stage is the 1-based index into txStageNames of the transaction
+	// stage span currently open on this core's timeline track (0 when no
+	// transaction is in flight). Only maintained when a probe is attached.
+	stage int
 }
+
+// txStageNames are the per-transaction pipeline stages shown on the
+// timeline. They are inferred from the persist runtime's fence structure:
+// a transaction commit retires exactly four persist barriers — after the
+// log payload, the log seal, the in-place mutation, and the commit-switch
+// counter write — so each retired fence inside a transaction closes one
+// stage and opens the next.
+var txStageNames = [...]string{"log", "log-seal", "mutate", "commit-switch"}
 
 // New builds a system that will replay one trace per core. len(traces)
 // must equal cfg.NumCores.
@@ -103,6 +118,42 @@ func New(cfg *config.Config, traces []*trace.Trace) (*System, error) {
 
 // Plain returns the replay-time plaintext image (the program's view).
 func (s *System) Plain() *mem.Space { return s.plain }
+
+// AttachProbe wires the observability probe through every layer of the
+// system — device, controller, and cores — and, when a metrics sink is
+// attached, hooks the engine clock and registers the standard column set.
+// Call after New and before Start/Run. A nil probe is a no-op.
+func (s *System) AttachProbe(p *probe.Probe) {
+	if p == nil {
+		return
+	}
+	s.pb = p
+	s.Dev.SetProbe(p)
+	s.MC.SetProbe(p)
+	p.EmitTopology(s.Cfg.NumCores, s.Cfg.Banks)
+	mw := p.Metrics()
+	if mw == nil {
+		return
+	}
+	s.Eng.OnAdvance(p.OnAdvance)
+	mw.Gauge("mc.data_q", func() float64 { d, _ := s.MC.QueueOccupancy(); return float64(d) })
+	mw.Gauge("mc.counter_q", func() float64 { _, c := s.MC.QueueOccupancy(); return float64(c) })
+	mw.Gauge("mc.pending", func() float64 { return float64(s.MC.Backlog()) })
+	mw.Gauge("ctrcache.dirty_lines", func() float64 { return float64(s.MC.DirtyCounterCount()) })
+	mw.Cumulative("nvm.data_bytes", func() float64 { return float64(s.St.Count(stats.DataBytesWritten)) })
+	mw.Cumulative("nvm.counter_bytes", func() float64 { return float64(s.St.Count(stats.CounterBytesWritten)) })
+	mw.Cumulative("nvm.bytes_read", func() float64 { return float64(s.St.Count(stats.BytesRead)) })
+	mw.Cumulative("sw.transactions", func() float64 { return float64(s.St.Count(stats.Transactions)) })
+	mw.Cumulative("enc.line_encryptions", func() float64 { return float64(s.MC.EncryptedWrites()) })
+	mw.Cumulative("sim.events", func() float64 { return float64(s.Eng.Steps()) })
+	mw.Ratio("ctrcache.hit_rate",
+		func() float64 { return float64(s.St.Count(stats.CounterCacheHits)) },
+		func() float64 { return float64(s.St.Count(stats.CounterCacheMiss)) })
+	mw.Ratio("l2.hit_rate",
+		func() float64 { return float64(s.St.Count(stats.L2Hits)) },
+		func() float64 { return float64(s.St.Count(stats.L2Misses)) })
+	mw.Utilization("nvm.bus_util", func() float64 { return float64(s.Dev.BusBusyTime()) })
+}
 
 // Start schedules every core's first step at t=0.
 func (s *System) Start() {
@@ -291,11 +342,25 @@ func (c *core) step() {
 				c.sys.firstTxSet = true
 				c.sys.firstTx = c.sys.Eng.Now() + acc
 			}
+			if c.sys.pb != nil {
+				at := c.sys.Eng.Now() + acc
+				c.sys.pb.SpanBegin(c.id, "tx", at)
+				c.sys.pb.SpanBegin(c.id, txStageNames[0], at)
+				c.stage = 1
+			}
 			c.pc++
 			continue
 		case trace.TxEnd:
 			c.txEnds = append(c.txEnds, c.sys.Eng.Now()+acc)
 			c.sys.St.Inc(stats.Transactions, 1)
+			if c.stage != 0 {
+				at := c.sys.Eng.Now() + acc
+				if c.stage <= len(txStageNames) {
+					c.sys.pb.SpanEnd(c.id, at) // open stage span
+				}
+				c.sys.pb.SpanEnd(c.id, at) // the tx span
+				c.stage = 0
+			}
 			c.pc++
 			continue
 		}
@@ -324,6 +389,7 @@ func (c *core) step() {
 	case trace.Sfence:
 		c.sys.St.Inc(stats.PersistBarriers, 1)
 		if c.outstanding == 0 {
+			c.fenceRetired(c.sys.Eng.Now())
 			c.next(cfg.CPUCycle)
 		} else {
 			c.fenceWait = true // resumed by writebackDone
@@ -412,7 +478,25 @@ func (c *core) writebackDone() {
 		c.fenceWait = false
 		c.sys.St.AddTime("core.fence_wait", c.sys.Eng.Now()-c.fenceStart)
 		c.sys.St.Observe("core.fence_wait_each", c.sys.Eng.Now()-c.fenceStart)
+		c.fenceRetired(c.sys.Eng.Now())
 		c.next(c.sys.Cfg.CPUCycle)
+	}
+}
+
+// fenceRetired advances the per-transaction stage spans when a persist
+// barrier completes: the open stage closes and the next one opens at the
+// same instant. Fences outside a transaction (stage == 0), or beyond the
+// four the commit protocol issues, leave the timeline untouched.
+func (c *core) fenceRetired(at sim.Time) {
+	if c.stage == 0 {
+		return
+	}
+	if c.stage <= len(txStageNames) {
+		c.sys.pb.SpanEnd(c.id, at)
+	}
+	c.stage++
+	if c.stage <= len(txStageNames) {
+		c.sys.pb.SpanBegin(c.id, txStageNames[c.stage-1], at)
 	}
 }
 

@@ -58,11 +58,27 @@ func (q *eventQueue) Pop() interface{} {
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventQueue
-	stopped bool
-	steps   uint64
+	now       Time
+	seq       uint64
+	queue     eventQueue
+	stopped   bool
+	steps     uint64
+	onAdvance func(Time)
+}
+
+// OnAdvance registers fn to run whenever the simulated clock is about to
+// move to a strictly later instant (it is not called for same-instant
+// events). Observability sinks use it to close sampling windows; fn sees
+// component state as of the end of the previous instant and must not
+// schedule events. A nil fn disables the hook.
+func (e *Engine) OnAdvance(fn func(Time)) { e.onAdvance = fn }
+
+// advanceTo moves the clock to t, firing the advance hook on forward jumps.
+func (e *Engine) advanceTo(t Time) {
+	if e.onAdvance != nil && t > e.now {
+		e.onAdvance(t)
+	}
+	e.now = t
 }
 
 // New returns a fresh engine at time zero.
@@ -96,7 +112,7 @@ func (e *Engine) Run() Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
 		ev := heap.Pop(&e.queue).(*event)
-		e.now = ev.at
+		e.advanceTo(ev.at)
 		e.steps++
 		ev.fn()
 	}
@@ -110,16 +126,16 @@ func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
 		if e.queue[0].at > deadline {
-			e.now = deadline
+			e.advanceTo(deadline)
 			return e.now
 		}
 		ev := heap.Pop(&e.queue).(*event)
-		e.now = ev.at
+		e.advanceTo(ev.at)
 		e.steps++
 		ev.fn()
 	}
 	if e.now < deadline {
-		e.now = deadline
+		e.advanceTo(deadline)
 	}
 	return e.now
 }

@@ -234,3 +234,39 @@ func TestPropertyResourceNoOverlap(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestOnAdvanceFiresOnForwardJumpsOnly(t *testing.T) {
+	e := New()
+	var jumps []Time
+	e.OnAdvance(func(next Time) { jumps = append(jumps, next) })
+	e.At(10, func() {})
+	e.At(10, func() {}) // same instant: no extra hook call
+	e.At(25, func() {})
+	e.Run()
+	if len(jumps) != 2 || jumps[0] != 10 || jumps[1] != 25 {
+		t.Fatalf("jumps = %v, want [10 25]", jumps)
+	}
+}
+
+func TestOnAdvanceSeesPreJumpState(t *testing.T) {
+	e := New()
+	var nowAtHook Time
+	e.OnAdvance(func(next Time) { nowAtHook = e.Now() })
+	e.At(40, func() {})
+	e.Run()
+	// The hook runs before the clock moves: Now() is still the old time.
+	if nowAtHook != 0 {
+		t.Fatalf("Now() during hook = %v, want 0", nowAtHook)
+	}
+}
+
+func TestOnAdvanceFiresForRunUntilDeadline(t *testing.T) {
+	e := New()
+	var jumps []Time
+	e.OnAdvance(func(next Time) { jumps = append(jumps, next) })
+	e.At(5, func() {})
+	e.RunUntil(100) // idle advance to the deadline must fire the hook too
+	if len(jumps) != 2 || jumps[0] != 5 || jumps[1] != 100 {
+		t.Fatalf("jumps = %v, want [5 100]", jumps)
+	}
+}

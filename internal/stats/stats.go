@@ -6,6 +6,8 @@ package stats
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -79,7 +81,7 @@ func (s *Stats) Time(name string) sim.Time { return s.times[name] }
 func (s *Stats) Observe(name string, d sim.Time) {
 	l, ok := s.lat[name]
 	if !ok {
-		l = &Latency{min: ^sim.Time(0)}
+		l = &Latency{}
 		s.lat[name] = l
 	}
 	l.add(d)
@@ -116,11 +118,39 @@ func (s *Stats) Merge(other *Stats) {
 	for k, v := range other.lat {
 		l, ok := s.lat[k]
 		if !ok {
-			l = &Latency{min: ^sim.Time(0)}
+			l = &Latency{}
 			s.lat[k] = l
 		}
 		l.merge(v)
 	}
+}
+
+// Counters returns a copy of all event counters by name.
+func (s *Stats) Counters() map[string]uint64 {
+	out := make(map[string]uint64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Times returns a copy of all accumulated time buckets by name.
+func (s *Stats) Times() map[string]sim.Time {
+	out := make(map[string]sim.Time, len(s.times))
+	for k, v := range s.times {
+		out[k] = v
+	}
+	return out
+}
+
+// Latencies returns the latency distributions by name. The *Latency values
+// are shared with the Stats and must be treated as read-only.
+func (s *Stats) Latencies() map[string]*Latency {
+	out := make(map[string]*Latency, len(s.lat))
+	for k, v := range s.lat {
+		out[k] = v
+	}
+	return out
 }
 
 // String renders all measurements sorted by name, for logs and the CLI.
@@ -149,42 +179,59 @@ func (s *Stats) String() string {
 	sort.Strings(names)
 	for _, k := range names {
 		l := s.lat[k]
-		fmt.Fprintf(&b, "%-40s n=%d avg=%.1fns min=%.1fns max=%.1fns\n",
-			k, l.Count(), l.Mean().Nanoseconds(), l.Min().Nanoseconds(), l.Max().Nanoseconds())
+		fmt.Fprintf(&b, "%-40s n=%d avg=%.1fns min=%.1fns p50=%.1fns p95=%.1fns p99=%.1fns max=%.1fns\n",
+			k, l.Count(), l.Mean().Nanoseconds(), l.Min().Nanoseconds(),
+			l.Quantile(0.50).Nanoseconds(), l.Quantile(0.95).Nanoseconds(),
+			l.Quantile(0.99).Nanoseconds(), l.Max().Nanoseconds())
 	}
 	return b.String()
 }
 
-// Latency is a streaming latency distribution (count/sum/min/max).
+// histBuckets is the fixed size of the log₂ latency histogram: bucket i
+// counts samples whose value has bit length i — bucket 0 holds exact
+// zeros, bucket i (i ≥ 1) holds values in [2^(i-1), 2^i). 64 value buckets
+// cover the full sim.Time range.
+const histBuckets = 65
+
+// Latency is a streaming latency distribution: count/sum/min/max moments
+// plus a fixed log₂-bucket histogram for quantile estimation. The zero
+// value is ready to use.
 type Latency struct {
-	n   uint64
-	sum sim.Time
-	min sim.Time
-	max sim.Time
+	n    uint64
+	sum  sim.Time
+	min  sim.Time
+	max  sim.Time
+	hist [histBuckets]uint64
 }
 
 func (l *Latency) add(d sim.Time) {
-	l.n++
-	l.sum += d
-	if d < l.min {
+	// min initializes lazily on the first sample: a zero-value Latency
+	// would otherwise carry min == 0 and record a bogus zero minimum.
+	if l.n == 0 || d < l.min {
 		l.min = d
 	}
 	if d > l.max {
 		l.max = d
 	}
+	l.n++
+	l.sum += d
+	l.hist[bits.Len64(uint64(d))]++
 }
 
 func (l *Latency) merge(o *Latency) {
 	if o.n == 0 {
 		return
 	}
-	l.n += o.n
-	l.sum += o.sum
-	if o.min < l.min {
+	if l.n == 0 || o.min < l.min {
 		l.min = o.min
 	}
 	if o.max > l.max {
 		l.max = o.max
+	}
+	l.n += o.n
+	l.sum += o.sum
+	for i, c := range o.hist {
+		l.hist[i] += c
 	}
 }
 
@@ -212,3 +259,68 @@ func (l *Latency) Max() sim.Time { return l.max }
 
 // Sum returns the total of all samples.
 func (l *Latency) Sum() sim.Time { return l.sum }
+
+// Quantile estimates the q-quantile (0 < q < 1) from the log₂ histogram:
+// it locates the bucket holding the ceil(q·n)-th smallest sample and
+// interpolates linearly inside the bucket's value range, clamped to the
+// exact observed min/max. With 0 or 1 samples it degenerates exactly.
+func (l *Latency) Quantile(q float64) sim.Time {
+	if l.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return l.min
+	}
+	if q >= 1 {
+		return l.max
+	}
+	rank := uint64(math.Ceil(q * float64(l.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range l.hist {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := bucketBounds(i)
+			pos := float64(rank-cum-1) / float64(c)
+			v := lo + sim.Time(pos*float64(hi-lo))
+			if v < l.min {
+				v = l.min
+			}
+			if v > l.max {
+				v = l.max
+			}
+			return v
+		}
+		cum += c
+	}
+	return l.max
+}
+
+// bucketBounds returns the [lo, hi] value range of histogram bucket i.
+func bucketBounds(i int) (lo, hi sim.Time) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = sim.Time(1) << (i - 1)
+	if i == 64 {
+		return lo, ^sim.Time(0)
+	}
+	return lo, sim.Time(1)<<i - 1
+}
+
+// HistogramLog2 returns a copy of the log₂ bucket counts with trailing
+// zero buckets trimmed (nil when empty).
+func (l *Latency) HistogramLog2() []uint64 {
+	n := len(l.hist)
+	for n > 0 && l.hist[n-1] == 0 {
+		n--
+	}
+	if n == 0 {
+		return nil
+	}
+	return append([]uint64(nil), l.hist[:n]...)
+}

@@ -145,3 +145,139 @@ func TestPropertyMergeEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: the zero-value Latency must initialize its minimum from the
+// first sample. A min field starting at 0 would make any nonzero sample
+// set report a bogus 0 minimum.
+func TestLatencyMinLazyInit(t *testing.T) {
+	var l Latency
+	l.add(5)
+	l.add(10)
+	if got := l.Min(); got != 5 {
+		t.Fatalf("Min() = %v, want 5", got)
+	}
+	// Same property through the Stats front door.
+	s := New()
+	s.Observe("x", 7)
+	s.Observe("x", 3)
+	if got := s.Latency("x").Min(); got != 3 {
+		t.Fatalf("observed Min() = %v, want 3", got)
+	}
+}
+
+func TestLatencyMergeIntoEmptyKeepsMin(t *testing.T) {
+	var dst, src Latency
+	src.add(9)
+	dst.merge(&src)
+	if dst.Min() != 9 || dst.Max() != 9 || dst.Count() != 1 {
+		t.Fatalf("merged = min%d max%d n%d", dst.Min(), dst.Max(), dst.Count())
+	}
+}
+
+func TestQuantileDegenerate(t *testing.T) {
+	var l Latency
+	if l.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile nonzero")
+	}
+	l.add(42)
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := l.Quantile(q); got != 42 {
+			t.Fatalf("Quantile(%v) = %v, want 42", q, got)
+		}
+	}
+}
+
+func TestQuantileOrderedAndBounded(t *testing.T) {
+	var l Latency
+	// A spread across many buckets: 1, 2, 4, ..., 2^20.
+	for i := 0; i <= 20; i++ {
+		l.add(sim.Time(1) << i)
+	}
+	last := sim.Time(0)
+	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95, 0.99} {
+		v := l.Quantile(q)
+		if v < l.Min() || v > l.Max() {
+			t.Fatalf("Quantile(%v) = %v outside [min, max]", q, v)
+		}
+		if v < last {
+			t.Fatalf("Quantile(%v) = %v < previous %v: not monotone", q, v, last)
+		}
+		last = v
+	}
+	// The median of 21 geometric samples lands in the 2^10 bucket.
+	med := l.Quantile(0.5)
+	if med < 1<<9 || med > 1<<11 {
+		t.Fatalf("median = %v, want near 2^10", med)
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	var l Latency
+	// 1000 identical samples: every quantile is that value.
+	for i := 0; i < 1000; i++ {
+		l.add(1500)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got := l.Quantile(q); got != 1500 {
+			t.Fatalf("Quantile(%v) = %v, want 1500", q, got)
+		}
+	}
+}
+
+func TestHistogramLog2(t *testing.T) {
+	var l Latency
+	if l.HistogramLog2() != nil {
+		t.Fatal("empty histogram non-nil")
+	}
+	l.add(0) // bucket 0
+	l.add(1) // bucket 1
+	l.add(2) // bucket 2
+	l.add(3) // bucket 2
+	h := l.HistogramLog2()
+	want := []uint64{1, 1, 2}
+	if len(h) != len(want) {
+		t.Fatalf("histogram = %v, want %v", h, want)
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("histogram = %v, want %v", h, want)
+		}
+	}
+}
+
+func TestStringIncludesQuantiles(t *testing.T) {
+	s := New()
+	s.Observe("lat", 100)
+	out := s.String()
+	for _, want := range []string{"p50=", "p95=", "p99="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: merged quantiles equal the quantiles of the combined sample
+// set — the histograms must add bucket-wise.
+func TestPropertyMergeQuantiles(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		whole, a, b := &Latency{}, &Latency{}, &Latency{}
+		for _, x := range xs {
+			a.add(sim.Time(x))
+			whole.add(sim.Time(x))
+		}
+		for _, y := range ys {
+			b.add(sim.Time(y))
+			whole.add(sim.Time(y))
+		}
+		a.merge(b)
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			if a.Quantile(q) != whole.Quantile(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

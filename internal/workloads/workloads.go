@@ -112,6 +112,16 @@ func Names() []string {
 	return out
 }
 
+// ExtendedNames lists every workload name ByName resolves, including the
+// extended set — the authoritative list for CLI validation and usage text.
+func ExtendedNames() []string {
+	var out []string
+	for _, w := range Extended() {
+		out = append(out, w.Name())
+	}
+	return out
+}
+
 // Per-workload magic words: published by Setup's final CounterAtomic
 // store; a garbled or absent magic means "structure not published".
 const (
