@@ -5,10 +5,19 @@
 // Usage:
 //
 //	crashtest [-design sca] [-workload all] [-points 32] [-legacy] [-cores 1]
+//	crashtest -schedule counterexample.json
 //
 // With -legacy the workload uses pre-paper persistency primitives (no
 // counter_cache_writeback, no CounterAtomic), reproducing the §2.2
 // motivating failure on any encrypted design.
+//
+// With -schedule, a counterexample file written by `persistcheck
+// -verify` (or the verifier's cross-validation suite) is replayed
+// functionally: the workload trace is rebuilt deterministically from the
+// recorded parameters, the optional catalog mutant applied, the exact
+// crash-point image constructed, and recovery plus validation run. Exit
+// status: 0 the schedule reproduces the predicted failure, 1 it does
+// not, 2 usage or I/O error.
 package main
 
 import (
@@ -17,8 +26,11 @@ import (
 	"os"
 	"strings"
 
+	"encnvm/internal/check"
+	"encnvm/internal/check/verify"
 	"encnvm/internal/config"
 	"encnvm/internal/crash"
+	"encnvm/internal/persist"
 	"encnvm/internal/workloads"
 )
 
@@ -41,7 +53,12 @@ func main() {
 	items := flag.Int("items", 128, "initial structure population")
 	ops := flag.Int("ops", 48, "operations per core")
 	seed := flag.Int64("seed", 42, "workload RNG seed")
+	schedule := flag.String("schedule", "", "replay a verifier counterexample file and exit")
 	flag.Parse()
+
+	if *schedule != "" {
+		os.Exit(replaySchedule(*schedule))
+	}
 
 	d, ok := designByName[*design]
 	if !ok {
@@ -80,4 +97,60 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("every crash point recovered consistently")
+}
+
+// replaySchedule rebuilds the trace a counterexample file describes and
+// replays its crash schedule, returning the process exit code.
+func replaySchedule(path string) int {
+	f, err := verify.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashtest: %v\n", err)
+		return 2
+	}
+	w, err := workloads.ByName(f.Workload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashtest: %v\n", err)
+		return 2
+	}
+	mode := persist.Undo
+	if f.TxMode == "redo" {
+		mode = persist.Redo
+	} else if f.TxMode != "" && f.TxMode != "undo" {
+		fmt.Fprintf(os.Stderr, "crashtest: unknown tx mode %q\n", f.TxMode)
+		return 2
+	}
+	cores := f.Cores
+	if cores == 0 {
+		cores = 1
+	}
+	if f.Schedule.Core < 0 || f.Schedule.Core >= cores {
+		fmt.Fprintf(os.Stderr, "crashtest: schedule core %d out of range (%d cores)\n",
+			f.Schedule.Core, cores)
+		return 2
+	}
+	p := workloads.Params{
+		Seed: f.Seed, Items: f.Items, Ops: f.Ops, OpsPerTx: f.OpsPerTx,
+		Legacy: f.Legacy, TxMode: mode,
+	}
+	tr := crash.BuildTraces(w, p, cores)[f.Schedule.Core]
+	if f.Mutant != "" {
+		m, err := check.MutantByName(tr, f.Mutant)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crashtest: %v\n", err)
+			return 2
+		}
+		tr = m.Trace
+	}
+	arena := persist.ArenaFor(f.Schedule.Core, crash.DefaultArena)
+	out, err := crash.ReplaySchedule(w, tr, arena, &f.Schedule)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashtest: %v\n", err)
+		return 2
+	}
+	fmt.Printf("%s %s/%s: schedule %s\n", path, f.Workload, f.TxMode, &f.Schedule)
+	fmt.Println(out)
+	if !out.Reproduced {
+		return 1
+	}
+	return 0
 }

@@ -1,33 +1,68 @@
-// Command persistcheck is the repo's vet-style static checker for
-// persistency-protocol bugs in Go source: it runs the internal/check
-// analyzers (rawspacewrite, ccwbfence) over package directories and
-// prints findings in the familiar file:line:col form. It is the
-// source-level half of the correctness tooling; the trace-level half is
-// `traceinfo -check`, which lints a recorded execution against rules
-// R1–R5.
+// Command persistcheck is the repo's static checker for
+// persistency-protocol bugs, with two independent halves:
+//
+// Source analysis (default): runs the internal/check/analyzers suite —
+// protocol-shape checks (rawspacewrite, ccwbfence), the CFG-based
+// persist-ordering check (persistorder), and the determinism suite
+// guarding the simulator's byte-reproducibility (wallclock,
+// unseededrand, maprange) — over package directories and prints findings
+// in the familiar file:line:col form.
+//
+// Trace verification (-verify): builds every built-in workload trace in
+// both transaction modes and statically enumerates every crash-point
+// equivalence class through internal/check/verify, proving that all
+// reachable persisted images satisfy counter-atomicity, seal-before-
+// mutate, and commit ordering. Violations come with concrete crash
+// schedules; -cex-dir writes each as a JSON counterexample replayable by
+// `crashtest -schedule`.
 //
 // Usage:
 //
-//	persistcheck [-tests] [-list] [dir ...]
+//	persistcheck [-tests] [-list] [-analyzers names] [dir ...]
+//	persistcheck -verify [-items N] [-ops N] [-opspertx N] [-seed N]
+//	             [-cex-dir dir]
 //
-// Each argument is a directory checked recursively ("./..." is accepted
-// as a synonym for "."); with no arguments the current directory tree is
+// Each directory argument is checked recursively ("./..." is accepted as
+// a synonym for "."); with no arguments the current directory tree is
 // checked. testdata and hidden directories are skipped unless named
-// explicitly. Exit status: 0 clean, 1 findings, 2 usage or load error.
+// explicitly.
+//
+// Exit status: 0 clean, 1 findings or violations, 2 usage or I/O error.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"encnvm/internal/check/analyzers"
+	"encnvm/internal/check/verify"
+	"encnvm/internal/crash"
+	"encnvm/internal/persist"
+	"encnvm/internal/workloads"
 )
+
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(),
+		"usage: persistcheck [-tests] [-list] [-analyzers names] [dir ...]\n"+
+			"       persistcheck -verify [-items N] [-ops N] [-opspertx N] [-seed N] [-cex-dir dir]\n\n"+
+			"Exit status: 0 clean, 1 findings or violations, 2 usage or I/O error.\n\n")
+	flag.PrintDefaults()
+}
 
 func main() {
 	tests := flag.Bool("tests", false, "also check _test.go files")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	names := flag.String("analyzers", "all", "comma-separated analyzer subset to run")
+	doVerify := flag.Bool("verify", false, "statically verify all built-in workload traces instead of analyzing source")
+	items := flag.Int("items", 64, "verify: initial structure population")
+	ops := flag.Int("ops", 24, "verify: measured operations")
+	opsPerTx := flag.Int("opspertx", 4, "verify: operations per transaction")
+	seed := flag.Int64("seed", 7, "verify: workload RNG seed")
+	cexDir := flag.String("cex-dir", "", "verify: write counterexample schedules to this directory")
+	flag.Usage = usage
 	flag.Parse()
 
 	if *list {
@@ -36,7 +71,17 @@ func main() {
 		}
 		return
 	}
+	if *doVerify {
+		os.Exit(runVerify(workloads.Params{
+			Seed: *seed, Items: *items, Ops: *ops, OpsPerTx: *opsPerTx,
+		}, *cexDir))
+	}
 
+	as, err := analyzers.ByName(*names)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "persistcheck: %v\n", err)
+		os.Exit(2)
+	}
 	roots := flag.Args()
 	if len(roots) == 0 {
 		roots = []string{"."}
@@ -53,7 +98,7 @@ func main() {
 			os.Exit(2)
 		}
 		for _, dir := range dirs {
-			fs, err := analyzers.RunDir(dir, analyzers.All(), *tests)
+			fs, err := analyzers.RunDir(dir, as, *tests)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "persistcheck: %v\n", err)
 				os.Exit(2)
@@ -68,4 +113,61 @@ func main() {
 		fmt.Fprintf(os.Stderr, "persistcheck: %d finding(s)\n", findings)
 		os.Exit(1)
 	}
+}
+
+// runVerify statically verifies every built-in workload trace in both
+// transaction modes, returning the process exit code.
+func runVerify(p workloads.Params, cexDir string) int {
+	if cexDir != "" {
+		if err := os.MkdirAll(cexDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "persistcheck: %v\n", err)
+			return 2
+		}
+	}
+	exit := 0
+	arena := persist.ArenaFor(0, crash.DefaultArena)
+	opts := verify.Options{Arenas: []persist.Arena{arena}}
+	for _, mode := range []persist.TxMode{persist.Undo, persist.Redo} {
+		for _, w := range workloads.Extended() {
+			wp := p
+			wp.TxMode = mode
+			tr := crash.BuildTraces(w, wp, 1)[0]
+			if err := tr.Validate(); err != nil {
+				fmt.Fprintf(os.Stderr, "persistcheck: %s/%s: invalid trace: %v\n",
+					w.Name(), mode, err)
+				return 2
+			}
+			res := verify.Verify(tr, opts)
+			status := "clean"
+			if !res.Clean() {
+				status = fmt.Sprintf("%d VIOLATION(S)", len(res.Violations))
+			}
+			fmt.Printf("%-10s %-4s  %6d ops, %4d epochs, %5d crash classes: %s\n",
+				w.Name(), mode, res.Ops, res.Epochs, res.Classes, status)
+			if res.Clean() {
+				continue
+			}
+			exit = 1
+			for i, v := range res.Violations {
+				fmt.Printf("  %v\n", v)
+				if v.Schedule == nil || cexDir == "" {
+					continue
+				}
+				f := &verify.File{
+					Workload: w.Name(), TxMode: mode.String(),
+					Seed: wp.Seed, Items: wp.Items, Ops: wp.Ops,
+					OpsPerTx: wp.OpsPerTx, Cores: 1,
+					Schedule: *v.Schedule,
+				}
+				path := filepath.Join(cexDir,
+					fmt.Sprintf("%s-%s-%s-op%d-%d.json", w.Name(), mode, v.Inv, v.OpIndex, i))
+				if err := f.WriteFile(path); err != nil {
+					fmt.Fprintf(os.Stderr, "persistcheck: %v\n", err)
+					return 2
+				}
+				fmt.Printf("    counterexample written to %s\n", path)
+			}
+		}
+	}
+	return exit
 }

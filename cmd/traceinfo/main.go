@@ -13,6 +13,9 @@
 // exits nonzero on any diagnostic. A -legacy trace is expected to be
 // flagged: software unaware of counters cannot follow the protocol, which
 // is the paper's §2.2 motivating failure.
+//
+// Exit status: 0 clean, 1 lint diagnostics found, 2 usage error or an
+// internally inconsistent trace.
 package main
 
 import (
@@ -37,6 +40,14 @@ func main() {
 	legacy := flag.Bool("legacy", false, "legacy (pre-paper) persistency primitives")
 	seed := flag.Int64("seed", 42, "workload RNG seed")
 	doCheck := flag.Bool("check", false, "lint the trace against crash-consistency rules R1-R5")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: traceinfo [-workload name] [-items N] [-ops N] [-opspertx N]\n"+
+				"                 [-mode undo|redo] [-legacy] [-seed N] [-check]\n\n"+
+				"Exit status: 0 clean, 1 lint diagnostics found, 2 usage error or\n"+
+				"an internally inconsistent trace.\n\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	w, err := workloads.ByName(*workload)
@@ -61,9 +72,10 @@ func main() {
 	w.Run(rt, p)
 	tr := rt.Trace()
 
+	// An invalid trace is a generator bug, not a lint finding: exit 2.
 	if err := tr.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "trace invalid: %v\n", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 
 	fmt.Printf("workload        %s (mode=%v, legacy=%v)\n", w.Name(), txMode, *legacy)

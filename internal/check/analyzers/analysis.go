@@ -12,8 +12,10 @@
 package analyzers
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
+	"strings"
 )
 
 // Analyzer describes one source check.
@@ -51,7 +53,35 @@ type Finding struct {
 	Message  string
 }
 
-// All returns the shipped analyzers.
+// All returns the shipped analyzers: the two protocol-shape checks from
+// the original suite, the CFG-based persist-ordering check, and the
+// determinism suite guarding the simulator's byte-reproducibility.
 func All() []*Analyzer {
-	return []*Analyzer{RawSpaceWrite, CCWBFence}
+	return []*Analyzer{
+		RawSpaceWrite, CCWBFence, PersistOrder,
+		WallClock, UnseededRand, MapRange,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("" or "all" selects
+// every analyzer), preserving catalog order.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" || names == "all" {
+		return All(), nil
+	}
+	want := map[string]bool{}
+	for _, n := range strings.Split(names, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	var out []*Analyzer
+	for _, a := range All() {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	for n := range want {
+		return nil, fmt.Errorf("analyzers: unknown analyzer %q", n)
+	}
+	return out, nil
 }

@@ -1,0 +1,192 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Minimal intraprocedural control-flow graph at statement granularity,
+// for path-sensitive checks like persistorder. Each node carries the AST
+// parts that execute at that point (a leaf statement, or a compound
+// statement's init/condition); compound statements are decomposed so a
+// fence inside one branch never masks its absence on the other.
+//
+// The model is deliberately modest: goto is treated as function exit
+// (conservative — flags rather than misses), labeled break/continue bind
+// to the nearest enclosing target, fallthrough falls out of the switch,
+// and function literals are opaque (their bodies neither fence nor
+// emit).
+type cfgNode struct {
+	parts []ast.Node
+	succs []*cfgNode
+}
+
+type cfgBuilder struct {
+	exit *cfgNode
+	brks []*cfgNode // break targets: loops and switches
+	cnts []*cfgNode // continue targets: loops only
+}
+
+// buildCFG builds the graph for one function body and returns its entry
+// and exit nodes.
+func buildCFG(body *ast.BlockStmt) (entry, exit *cfgNode) {
+	b := &cfgBuilder{exit: &cfgNode{}}
+	return b.seq(body.List, b.exit), b.exit
+}
+
+func (b *cfgBuilder) seq(stmts []ast.Stmt, next *cfgNode) *cfgNode {
+	entry := next
+	for i := len(stmts) - 1; i >= 0; i-- {
+		entry = b.stmt(stmts[i], entry)
+	}
+	return entry
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, next *cfgNode) *cfgNode {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.seq(s.List, next)
+	case *ast.LabeledStmt:
+		return b.stmt(s.Stmt, next)
+	case *ast.IfStmt:
+		thenE := b.seq(s.Body.List, next)
+		elseE := next
+		if s.Else != nil {
+			elseE = b.stmt(s.Else, next)
+		}
+		n := &cfgNode{succs: []*cfgNode{thenE, elseE}}
+		if s.Init != nil {
+			n.parts = append(n.parts, s.Init)
+		}
+		if s.Cond != nil {
+			n.parts = append(n.parts, s.Cond)
+		}
+		return n
+	case *ast.ForStmt:
+		header := &cfgNode{}
+		if s.Init != nil {
+			header.parts = append(header.parts, s.Init)
+		}
+		if s.Cond != nil {
+			header.parts = append(header.parts, s.Cond)
+		}
+		if s.Post != nil {
+			header.parts = append(header.parts, s.Post)
+		}
+		b.brks = append(b.brks, next)
+		b.cnts = append(b.cnts, header)
+		body := b.seq(s.Body.List, header)
+		b.brks = b.brks[:len(b.brks)-1]
+		b.cnts = b.cnts[:len(b.cnts)-1]
+		header.succs = []*cfgNode{body, next}
+		return header
+	case *ast.RangeStmt:
+		header := &cfgNode{parts: []ast.Node{s.X}}
+		b.brks = append(b.brks, next)
+		b.cnts = append(b.cnts, header)
+		body := b.seq(s.Body.List, header)
+		b.brks = b.brks[:len(b.brks)-1]
+		b.cnts = b.cnts[:len(b.cnts)-1]
+		header.succs = []*cfgNode{body, next}
+		return header
+	case *ast.SwitchStmt:
+		return b.switchCFG(s.Init, s.Tag, s.Body, next)
+	case *ast.TypeSwitchStmt:
+		return b.switchCFG(s.Init, nil, s.Body, next)
+	case *ast.SelectStmt:
+		header := &cfgNode{}
+		b.brks = append(b.brks, next)
+		for _, cc := range s.Body.List {
+			c := cc.(*ast.CommClause)
+			header.succs = append(header.succs, b.seq(c.Body, next))
+		}
+		b.brks = b.brks[:len(b.brks)-1]
+		if len(header.succs) == 0 {
+			header.succs = []*cfgNode{next}
+		}
+		return header
+	case *ast.ReturnStmt:
+		return &cfgNode{parts: []ast.Node{s}, succs: []*cfgNode{b.exit}}
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if len(b.brks) > 0 {
+				return &cfgNode{succs: []*cfgNode{b.brks[len(b.brks)-1]}}
+			}
+		case token.CONTINUE:
+			if len(b.cnts) > 0 {
+				return &cfgNode{succs: []*cfgNode{b.cnts[len(b.cnts)-1]}}
+			}
+		case token.GOTO:
+			return &cfgNode{succs: []*cfgNode{b.exit}}
+		}
+		return &cfgNode{succs: []*cfgNode{next}}
+	default:
+		n := &cfgNode{parts: []ast.Node{s}, succs: []*cfgNode{next}}
+		if terminates(s) {
+			n.succs = []*cfgNode{b.exit}
+		}
+		return n
+	}
+}
+
+func (b *cfgBuilder) switchCFG(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, next *cfgNode) *cfgNode {
+	header := &cfgNode{}
+	if init != nil {
+		header.parts = append(header.parts, init)
+	}
+	if tag != nil {
+		header.parts = append(header.parts, tag)
+	}
+	b.brks = append(b.brks, next)
+	hasDefault := false
+	for _, cc := range body.List {
+		c, ok := cc.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if c.List == nil {
+			hasDefault = true
+		}
+		entry := b.seq(c.Body, next)
+		for _, e := range c.List {
+			header.parts = append(header.parts, e)
+		}
+		header.succs = append(header.succs, entry)
+	}
+	b.brks = b.brks[:len(b.brks)-1]
+	if !hasDefault || len(header.succs) == 0 {
+		header.succs = append(header.succs, next)
+	}
+	return header
+}
+
+// terminates reports whether the statement unconditionally stops
+// execution of the function: a panic call. (os.Exit and log.Fatal kill
+// the process, which makes missing fences moot; panic can be recovered
+// above a crash point, so it is treated as an exit path.)
+func terminates(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// inspectParts walks a node's AST parts, skipping function literals
+// (their bodies do not execute at this program point).
+func inspectParts(n *cfgNode, fn func(ast.Node) bool) {
+	for _, p := range n.parts {
+		ast.Inspect(p, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok {
+				return false
+			}
+			return fn(x)
+		})
+	}
+}

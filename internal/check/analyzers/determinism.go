@@ -1,0 +1,127 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+)
+
+// Determinism checks. PR 2's byte-determinism guarantee (same seed ⇒
+// same trace ⇒ same simulation bytes) is enforced end to end by a CI
+// cmp; these analyzers stop the three classic ways of breaking it at the
+// source level before the cmp ever runs: wall-clock reads, the global
+// math/rand source, and map iteration order (maprange.go).
+//
+// wallclock and unseededrand are scoped to the simulation packages —
+// directories whose base name is in simScope below. CLI front-ends
+// legitimately read the wall clock for progress reporting, and anything
+// under a scoped directory feeds simulated state or trace generation,
+// where nondeterminism silently breaks replay and crash-schedule
+// reproduction.
+
+var simScope = map[string]bool{
+	"sim":     true,
+	"core":    true,
+	"memctrl": true,
+	"nvm":     true,
+	"replay":  true,
+
+	// Trace generation and the persistency machinery must be just as
+	// deterministic: workload traces seed everything downstream.
+	"workloads": true,
+	"persist":   true,
+	"crash":     true,
+	"trace":     true,
+	"cache":     true,
+	"ctrenc":    true,
+	"mem":       true,
+	"stats":     true,
+}
+
+func inSimScope(dir string) bool {
+	return simScope[filepath.Base(dir)]
+}
+
+// WallClock flags wall-clock reads (time.Now, time.Since, time.Until,
+// time.Tick, time.After) in simulation packages. Simulated time is
+// sim.Time, advanced by the event queue; real time leaking into
+// simulated state makes runs irreproducible.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "flags time.Now/time.Since and friends in simulation packages",
+	Run:  runWallClock,
+}
+
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Tick": true, "After": true,
+}
+
+func runWallClock(pass *Pass) error {
+	if !inSimScope(pass.Dir) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" {
+				pass.Report(Diagnostic{
+					Pos:     call.Pos(),
+					Message: fmt.Sprintf("time.%s in a simulation package; use sim.Time so runs are reproducible", sel.Sel.Name),
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// UnseededRand flags draws from math/rand's global source (rand.Intn,
+// rand.Float64, ...) in simulation packages. The global source is seeded
+// per-process, so traces and crash schedules stop reproducing; use
+// rand.New(rand.NewSource(seed)) with a seed derived from Params.Seed,
+// as internal/workloads does.
+var UnseededRand = &Analyzer{
+	Name: "unseededrand",
+	Doc:  "flags math/rand global-source draws in simulation packages",
+	Run:  runUnseededRand,
+}
+
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+func runUnseededRand(pass *Pass) error {
+	if !inSimScope(pass.Dir) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !globalRandFuncs[sel.Sel.Name] {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "rand" {
+				pass.Report(Diagnostic{
+					Pos:     call.Pos(),
+					Message: fmt.Sprintf("rand.%s draws from the global source; use rand.New(rand.NewSource(seed)) keyed on Params.Seed", sel.Sel.Name),
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}

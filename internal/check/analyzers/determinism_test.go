@@ -1,0 +1,236 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runWith parses one snippet and runs a chosen analyzer set, with the
+// package dir controlled so scope-gated analyzers can be exercised.
+func runWith(t *testing.T, src, dir string, as []*Analyzer) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snippet.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fs, err := RunFiles(fset, []*ast.File{f}, dir, as)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return fs
+}
+
+// The sim fixture draws exactly its seeded determinism findings, and the
+// clean file beside it draws none.
+func TestDeterminismFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "sim")
+	fs, err := RunDir(dir, All(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"wallclock": 2, "unseededrand": 2, "maprange": 2}
+	got := map[string]int{}
+	for _, f := range fs {
+		got[f.Analyzer]++
+		if filepath.Base(f.Pos.Filename) != "nondet.go" {
+			t.Errorf("finding in %s, want all in nondet.go: %+v", f.Pos.Filename, f)
+		}
+	}
+	for a, n := range want {
+		if got[a] != n {
+			t.Errorf("%s: %d findings, want %d: %v", a, got[a], n, fs)
+		}
+	}
+	if len(fs) != 6 {
+		t.Errorf("total findings = %d, want 6: %v", len(fs), fs)
+	}
+}
+
+// The persistbad fixture draws exactly its three seeded orderings bugs;
+// the fenced variants below them stay clean.
+func TestPersistOrderFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "persistbad")
+	fs, err := RunDir(dir, All(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if f.Analyzer != "persistorder" {
+			t.Errorf("unexpected %s finding: %+v", f.Analyzer, f)
+		}
+	}
+	if len(fs) != 3 {
+		t.Errorf("total findings = %d, want 3: %v", len(fs), fs)
+	}
+}
+
+// wallclock and unseededrand fire only in simulation-package
+// directories: CLI front-ends may read the wall clock for progress.
+func TestDeterminismScope(t *testing.T) {
+	const src = "package p\nimport (\"time\"; \"math/rand\")\n" +
+		"func f() int64 { return time.Now().UnixNano() + int64(rand.Intn(8)) }\n"
+	as := []*Analyzer{WallClock, UnseededRand}
+	if fs := runWith(t, src, filepath.Join("internal", "core"), as); len(fs) != 2 {
+		t.Errorf("in internal/core: %d findings, want 2: %v", len(fs), fs)
+	}
+	if fs := runWith(t, src, filepath.Join("cmd", "experiments"), as); len(fs) != 0 {
+		t.Errorf("in cmd/experiments: %d findings, want 0: %v", len(fs), fs)
+	}
+}
+
+// CFG behavior of persistorder, case by case.
+func TestPersistOrderSnippets(t *testing.T) {
+	const hdr = "package p\n"
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{
+			name: "clwb then fence",
+			src:  hdr + "func f(rt R) { rt.Clwb(0, 64); rt.Fence() }",
+			want: 0,
+		},
+		{
+			name: "clwb with no fence at all",
+			src:  hdr + "func f(rt R) { rt.Clwb(0, 64) }",
+			want: 1,
+		},
+		{
+			name: "early return between clwb and fence",
+			src:  hdr + "func f(rt R, ok bool) { rt.Clwb(0, 64); if !ok { return }; rt.Fence() }",
+			want: 1,
+		},
+		{
+			name: "fence on one branch only",
+			src:  hdr + "func f(rt R, ok bool) { rt.Clwb(0, 64); if ok { rt.Fence() } }",
+			want: 1,
+		},
+		{
+			name: "fence on both branches",
+			src:  hdr + "func f(rt R, ok bool) { rt.Clwb(0, 64); if ok { rt.Fence() } else { rt.Fence() } }",
+			want: 0,
+		},
+		{
+			name: "clwb in loop, fence after loop",
+			src:  hdr + "func f(rt R, as []A) { for _, a := range as { rt.Clwb(a, 64) }; rt.Fence() }",
+			want: 0,
+		},
+		{
+			name: "break escapes the loop before the fence",
+			src:  hdr + "func f(rt R, ok bool) { for { rt.Clwb(0, 64); if ok { break }; rt.Fence() } }",
+			want: 1,
+		},
+		{
+			name: "persist barrier orders the clwb",
+			src:  hdr + "func f(rt R) { rt.Clwb(0, 64); rt.PersistBarrier(0, 64) }",
+			want: 0,
+		},
+		{
+			name: "raw clwb append without fence",
+			src:  hdr + "func f(rt R) { rt.tr.Append(trace.Op{Kind: trace.Clwb}) }",
+			want: 1,
+		},
+		{
+			name: "raw clwb append then fence",
+			src:  hdr + "func f(rt R) { rt.tr.Append(trace.Op{Kind: trace.Clwb}); rt.Fence() }",
+			want: 0,
+		},
+		{
+			name: "raw append of a non-clwb op is not an emission",
+			src:  hdr + "func f(rt R) { rt.tr.Append(trace.Op{Kind: trace.Sfence}) }",
+			want: 0,
+		},
+		{
+			name: "emission inside the Clwb primitive itself is exempt",
+			src:  hdr + "func (rt R) Clwb(a A, n int) { rt.tr.Append(trace.Op{Kind: trace.Clwb}) }",
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := runWith(t, tc.src, ".", []*Analyzer{PersistOrder})
+			if len(fs) != tc.want {
+				t.Errorf("findings = %d, want %d: %v", len(fs), tc.want, fs)
+			}
+		})
+	}
+}
+
+// Deny-list behavior of maprange, case by case.
+func TestMapRangeSnippets(t *testing.T) {
+	const hdr = "package p\nimport (\"fmt\"; \"sort\")\nvar _ = fmt.Sprint\nvar _ = sort.Strings\n"
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{
+			name: "print inside map range",
+			src:  hdr + "func f() { m := map[int]int{}; for k := range m { fmt.Println(k) } }",
+			want: 1,
+		},
+		{
+			name: "append without sort",
+			src:  hdr + "func f(m map[string]int) []string { var ks []string; for k := range m { ks = append(ks, k) }; return ks }",
+			want: 1,
+		},
+		{
+			name: "append then sort",
+			src:  hdr + "func f(m map[string]int) []string { var ks []string; for k := range m { ks = append(ks, k) }; sort.Strings(ks); return ks }",
+			want: 0,
+		},
+		{
+			name: "aggregation is order-insensitive",
+			src:  hdr + "func f(m map[string]int) int { s := 0; for _, v := range m { s += v }; return s }",
+			want: 0,
+		},
+		{
+			name: "channel send inside map range",
+			src:  hdr + "func f(m map[string]int, ch chan int) { for _, v := range m { ch <- v } }",
+			want: 1,
+		},
+		{
+			name: "range over a slice is not a map",
+			src:  hdr + "func f(xs []int) { for _, v := range xs { fmt.Println(v) } }",
+			want: 0,
+		},
+		{
+			name: "range over a map-typed struct field",
+			src:  hdr + "type s struct { m map[string]int }\nfunc f(x *s) { for k := range x.m { fmt.Println(k) } }",
+			want: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := runWith(t, tc.src, ".", []*Analyzer{MapRange})
+			if len(fs) != tc.want {
+				t.Errorf("findings = %d, want %d: %v", len(fs), tc.want, fs)
+			}
+		})
+	}
+}
+
+// ByName resolves analyzer subsets and rejects unknown names.
+func TestByName(t *testing.T) {
+	all, err := ByName("all")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(all) = %d analyzers, err %v", len(all), err)
+	}
+	two, err := ByName("wallclock, persistorder")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("ByName subset = %v, err %v", two, err)
+	}
+	names := []string{two[0].Name, two[1].Name}
+	if strings.Join(names, ",") != "persistorder,wallclock" {
+		t.Errorf("subset order = %v, want catalog order", names)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("ByName(nosuch) did not error")
+	}
+}

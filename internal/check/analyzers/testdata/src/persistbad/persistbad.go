@@ -1,0 +1,84 @@
+// Package persistbad is the seeded-violation fixture for persistorder:
+// Clwb emissions with at least one control-flow path to function exit
+// that never passes a Fence or PersistBarrier. Types are self-contained
+// stand-ins for the persist runtime so the fixture parses without
+// imports.
+package persistbad
+
+type addr uint64
+
+// op mirrors trace.Op just enough for the raw-append case.
+type op struct {
+	Kind int
+	Addr addr
+}
+
+// Clwb stands in for the trace.Clwb op kind.
+const Clwb = 3
+
+type tracebuf struct{}
+
+func (t *tracebuf) Append(o op) {}
+
+type runtime struct {
+	tr *tracebuf
+}
+
+// The primitives themselves are exempt by name.
+func (r *runtime) Clwb(a addr, n int) {}
+func (r *runtime) CCWB(a addr, n int) {}
+func (r *runtime) Fence()             {}
+
+// flushEarlyReturn is flagged: the early return escapes between the
+// writeback and its fence.
+func flushEarlyReturn(r *runtime, a addr, dirty bool) {
+	r.Clwb(a, 1)
+	if !dirty {
+		return
+	}
+	r.Fence()
+}
+
+// flushOneBranch is flagged: only the sync branch fences.
+func flushOneBranch(r *runtime, a addr, sync bool) {
+	r.Clwb(a, 1)
+	if sync {
+		r.Fence()
+	}
+}
+
+// rawAppend is flagged: a raw trace append of a Clwb op, never ordered.
+func rawAppend(r *runtime, a addr) {
+	r.tr.Append(op{Kind: Clwb, Addr: a})
+}
+
+// flushBothBranches is clean: every path fences.
+func flushBothBranches(r *runtime, a addr, sync bool) {
+	r.Clwb(a, 1)
+	if sync {
+		r.Fence()
+	} else {
+		r.Fence()
+	}
+}
+
+// flushLoop is clean: the fence after the loop dominates function exit.
+func flushLoop(r *runtime, addrs []addr) {
+	for _, a := range addrs {
+		r.Clwb(a, 1)
+	}
+	r.Fence()
+}
+
+// flushSwitch is clean: each case fences, and the implicit no-case path
+// emits nothing.
+func flushSwitch(r *runtime, a addr, mode int) {
+	switch mode {
+	case 0:
+		r.Clwb(a, 1)
+		r.Fence()
+	default:
+		r.Clwb(a, 1)
+		r.Fence()
+	}
+}

@@ -1,0 +1,52 @@
+// Package sim is a seeded-violation fixture for the determinism
+// analyzers. Its directory base ("sim") matches the simulation-package
+// scope, so wallclock and unseededrand are active here; each function
+// below carries exactly the nondeterminism its name describes.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// simState is a stand-in for simulated machine state.
+type simState struct {
+	latency map[string]uint64
+}
+
+// stamp reads the wall clock into simulated state. (wallclock)
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// elapsed measures real time instead of sim.Time. (wallclock)
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// jitter draws from the global rand source. (unseededrand)
+func jitter() int {
+	return rand.Intn(16)
+}
+
+// skew draws a float from the global rand source. (unseededrand)
+func skew() float64 {
+	return rand.Float64()
+}
+
+// dump prints map entries in iteration order. (maprange)
+func dump(s *simState) {
+	for k, v := range s.latency {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// unsortedKeys collects keys but never sorts them. (maprange)
+func unsortedKeys(s *simState) []string {
+	var keys []string
+	for k := range s.latency {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -3,7 +3,6 @@ package check
 import (
 	"testing"
 
-	"encnvm/internal/mem"
 	"encnvm/internal/persist"
 	"encnvm/internal/trace"
 	"encnvm/internal/workloads"
@@ -11,82 +10,23 @@ import (
 
 // Mutation testing: programmatically drop or displace one ordering
 // primitive in a known-clean workload trace and assert the linter flags
-// the mutant with the expected rule at the expected op index. Every
-// transactional workload yields six mutants (R1–R5), the log-free linked
-// list two more (R3, R4) — the acceptance bar is ≥ 10 mutants in total.
-
-// lastKindBefore returns the index of the last op of kind k strictly
-// before limit, or -1.
-func lastKindBefore(tr *trace.Trace, k trace.Kind, limit int) int {
-	for i := limit - 1; i >= 0; i-- {
-		if tr.Ops[i].Kind == k {
-			return i
-		}
-	}
-	return -1
-}
-
-// lastWriteTo returns the index of the last store to line addr strictly
-// before limit, or -1.
-func lastWriteTo(tr *trace.Trace, addr mem.Addr, limit int) int {
-	for i := limit - 1; i >= 0; i-- {
-		if tr.Ops[i].Kind == trace.Write && tr.Ops[i].Addr.LineAddr() == addr {
-			return i
-		}
-	}
-	return -1
-}
+// the mutant with the expected rule at the expected op index. The catalog
+// itself lives in mutants.go so the static verifier's cross-validation
+// suite and cmd/crashtest -schedule can regenerate identical mutants;
+// every transactional workload yields eleven mutants, the log-free
+// linked list three more.
 
 // expectFlagged asserts the mutant draws at least one diagnostic with the
-// given rule at the given op index.
+// given rule at the given op index (-1: any index).
 func expectFlagged(t *testing.T, name string, mutant *trace.Trace, rule string, at int) {
 	t.Helper()
 	ds := Check(mutant, Options{Arenas: []persist.Arena{testArena()}})
 	for _, d := range ds {
-		if d.Rule == rule && d.OpIndex == at {
+		if d.Rule == rule && (at < 0 || d.OpIndex == at) {
 			return
 		}
 	}
 	t.Errorf("%s: no %s diagnostic at op %d; got %v", name, rule, at, ds)
-}
-
-// txAnatomy locates the first measured transaction's protocol landmarks.
-type txAnatomy struct {
-	begin     int // TxBegin
-	validCA   int // prepare-stage valid-flag CounterAtomic store
-	prepCCWB  int // first prepare-stage counter writeback
-	prepFence int // fence completing the prepare persist barrier
-	mutWrite  int // first in-place mutation store
-	mutFence  int // fence completing the mutate persist barrier
-	commitCA  int // commit-stage CounterAtomic store
-	lastFence int // final fence of the transaction
-	end       int // TxEnd
-}
-
-func anatomize(t *testing.T, tr *trace.Trace) txAnatomy {
-	t.Helper()
-	var a txAnatomy
-	a.begin = FindKind(tr, trace.TxBegin, 0, 0)
-	a.validCA = FindCounterAtomic(tr, a.begin, 0)
-	a.commitCA = FindCounterAtomic(tr, a.begin, 1)
-	a.prepCCWB = FindKind(tr, trace.CCWB, a.begin, 0)
-	a.prepFence = lastKindBefore(tr, trace.Sfence, a.validCA)
-	a.mutFence = lastKindBefore(tr, trace.Sfence, a.commitCA)
-	a.end = FindKind(tr, trace.TxEnd, a.begin, 0)
-	a.lastFence = lastKindBefore(tr, trace.Sfence, a.end)
-	for i := a.validCA + 1; i < a.commitCA; i++ {
-		if tr.Ops[i].Kind == trace.Write && !tr.Ops[i].CounterAtomic {
-			a.mutWrite = i
-			break
-		}
-	}
-	for _, idx := range []int{a.begin, a.validCA, a.prepCCWB, a.prepFence,
-		a.mutWrite, a.mutFence, a.commitCA, a.lastFence, a.end} {
-		if idx <= 0 {
-			t.Fatalf("could not anatomize transaction: %+v", a)
-		}
-	}
-	return a
 }
 
 func TestMutantsTransactionalWorkloads(t *testing.T) {
@@ -97,93 +37,63 @@ func TestMutantsTransactionalWorkloads(t *testing.T) {
 			if ds := Check(tr, Options{Arenas: []persist.Arena{testArena()}}); len(ds) != 0 {
 				t.Fatalf("baseline not clean: %v", ds[0])
 			}
-			a := anatomize(t, tr)
-
-			// R1: drop the clwb of the first in-place mutation; at TxEnd
-			// the line's last store is still volatile.
-			mutLine := tr.Ops[a.mutWrite].Addr.LineAddr()
-			clwbIdx := -1
-			for i := a.mutWrite + 1; i < a.end; i++ {
-				if tr.Ops[i].Kind == trace.Clwb && tr.Ops[i].Addr.LineAddr() == mutLine {
-					clwbIdx = i
-					break
-				}
+			ms, err := TxMutants(tr)
+			if err != nil {
+				t.Fatal(err)
 			}
-			if clwbIdx < 0 {
-				t.Fatalf("no clwb for mutation line %#x", mutLine)
+			if len(ms) < 11 {
+				t.Fatalf("catalog has %d transactional mutants, want >= 11", len(ms))
 			}
-			m := DropOp(tr, clwbIdx)
-			expectFlagged(t, "drop-mutate-clwb", m, "R1", lastWriteTo(m, mutLine, a.end-1))
-
-			// R2: drop the transaction's final fence; the commit-stage
-			// clwb is never ordered by anything afterwards... unless a
-			// later transaction fences, so mutate the LAST transaction.
-			lastEnd := FindLastKind(tr, trace.TxEnd)
-			lastF := lastKindBefore(tr, trace.Sfence, lastEnd)
-			trailingClwb := lastKindBefore(tr, trace.Clwb, lastF)
-			if f := FindKind(tr, trace.Sfence, lastEnd, 0); f >= 0 {
-				t.Fatalf("unexpected fence after the last TxEnd")
+			for _, m := range ms {
+				expectFlagged(t, m.Name, m.Trace, m.Rule, m.At)
 			}
-			m = DropOp(tr, lastF)
-			expectFlagged(t, "drop-final-fence", m, "R2", trailingClwb)
-
-			// R3: drop the prepare-stage counter writeback; the valid
-			// switch flips while the log payload's counters are volatile.
-			m = DropOp(tr, a.prepCCWB)
-			expectFlagged(t, "drop-prepare-ccwb", m, "R3", a.validCA-1)
-
-			// R4: drop the prepare-stage fence; the valid switch flips
-			// while the payload writebacks are still unordered.
-			m = DropOp(tr, a.prepFence)
-			expectFlagged(t, "drop-prepare-fence", m, "R4", a.validCA-1)
-
-			// R4 (commit side): drop the mutate-stage fence; commit
-			// flips while the in-place lines are unordered.
-			m = DropOp(tr, a.mutFence)
-			expectFlagged(t, "drop-mutate-fence", m, "R4", a.commitCA-1)
-
-			// R5: hoist the first in-place mutation to the top of the
-			// transaction, before the log entry exists.
-			m = MoveOp(tr, a.mutWrite, a.begin+1)
-			expectFlagged(t, "hoist-mutation", m, "R5", a.begin+1)
 		})
 	}
 }
 
 // The log-free linked list publishes with a bare CounterAtomic head flip;
-// dropping either half of its pre-publication barrier must be caught.
+// dropping any leg of its pre-publication barrier must be caught.
 func TestMutantsLinkedList(t *testing.T) {
 	w := &workloads.LinkedList{}
 	tr := buildTrace(t, w, testParams())
-	opts := Options{Arenas: []persist.Arena{testArena()}}
-	if ds := Check(tr, opts); len(ds) != 0 {
+	if ds := Check(tr, Options{Arenas: []persist.Arena{testArena()}}); len(ds) != 0 {
 		t.Fatalf("baseline not clean: %v", ds[0])
 	}
-
-	// The first measured insert: node stores, clwb, ccwb, fence, CA flip.
-	// Setup's publish is the first CounterAtomic store; skip past it.
-	setupCA := FindCounterAtomic(tr, 0, 0)
-	flip := FindCounterAtomic(tr, setupCA+1, 0)
-	nodeCCWB := lastKindBefore(tr, trace.CCWB, flip)
-	nodeFence := lastKindBefore(tr, trace.Sfence, flip)
-	nodeClwb := lastKindBefore(tr, trace.Clwb, nodeFence)
-	if flip < 0 || nodeCCWB < 0 || nodeFence < 0 || nodeClwb < 0 {
-		t.Fatal("could not locate the Figure-4 insert protocol")
+	ms, err := ListMutants(tr)
+	if err != nil {
+		t.Fatal(err)
 	}
+	if len(ms) != 3 {
+		t.Fatalf("catalog has %d linked-list mutants, want 3", len(ms))
+	}
+	for _, m := range ms {
+		expectFlagged(t, m.Name, m.Trace, m.Rule, m.At)
+	}
+}
 
-	// R3: node persisted, but its counters never written back.
-	m := DropOp(tr, nodeCCWB)
-	expectFlagged(t, "drop-node-ccwb", m, "R3", flip-1)
-
-	// R4: head flips before the node's persist barrier completes.
-	m = DropOp(tr, nodeFence)
-	expectFlagged(t, "drop-node-fence", m, "R4", flip-1)
-
-	// R1: the node line is never written back at all; with the trace
-	// ending after this, the store is flagged at end of trace... the
-	// line is still flushed by later iterations' fences only if clwb'd
-	// again, which head-insert never does — drop it and expect R1.
-	nodeLine := tr.Ops[nodeClwb].Addr.LineAddr()
-	m = DropOp(tr, nodeClwb)
-	expectFlagged(t, "drop-node-clwb", m, "R1", lastWriteTo(m, nodeLine, len(m.Ops)))
+// MutantByName must regenerate exactly the cataloged mutant — the
+// property cmd/crashtest -schedule relies on to replay counterexamples.
+func TestMutantByName(t *testing.T) {
+	tr := buildTrace(t, &workloads.ArraySwap{}, testParams())
+	ms, err := TxMutants(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range ms {
+		got, err := MutantByName(tr, want.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", want.Name, err)
+		}
+		if got.Trace.Len() != want.Trace.Len() {
+			t.Fatalf("%s: regenerated length %d != %d", want.Name, got.Trace.Len(), want.Trace.Len())
+		}
+		for i := range want.Trace.Ops {
+			if got.Trace.Ops[i] != want.Trace.Ops[i] {
+				t.Fatalf("%s: regenerated trace differs at op %d", want.Name, i)
+			}
+		}
+	}
+	if _, err := MutantByName(tr, "no-such-mutant"); err == nil {
+		t.Fatal("unknown mutant name not rejected")
+	}
 }

@@ -1,0 +1,238 @@
+package verify_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"encnvm/internal/check"
+	"encnvm/internal/check/verify"
+	"encnvm/internal/crash"
+	"encnvm/internal/persist"
+	"encnvm/internal/trace"
+	"encnvm/internal/workloads"
+)
+
+// Cross-validation: every mutant the dynamic linter catches must also
+// fail static verification, and at least one emitted counterexample
+// schedule must reproduce the failure functionally through the crash
+// harness. This pins the three oracles — trace linter, abstract
+// interpreter, functional replay — to each other.
+
+func xvArena() persist.Arena { return persist.ArenaFor(0, crash.DefaultArena) }
+
+func xvParams() workloads.Params {
+	return workloads.Params{Seed: 7, Items: 64, Ops: 24, OpsPerTx: 4}
+}
+
+func xvOptions() verify.Options {
+	return verify.Options{Arenas: []persist.Arena{xvArena()}}
+}
+
+func buildTrace(t *testing.T, w workloads.Workload, p workloads.Params) *trace.Trace {
+	t.Helper()
+	traces := crash.BuildTraces(w, p, 1)
+	if err := traces[0].Validate(); err != nil {
+		t.Fatalf("%s: invalid trace: %v", w.Name(), err)
+	}
+	return traces[0]
+}
+
+// All built-in workload traces, in both transaction modes, must verify
+// clean: zero violations across every crash-point equivalence class.
+func TestWorkloadTracesVerifyClean(t *testing.T) {
+	for _, mode := range []persist.TxMode{persist.Undo, persist.Redo} {
+		for _, w := range workloads.Extended() {
+			p := xvParams()
+			p.TxMode = mode
+			tr := buildTrace(t, w, p)
+			res := verify.Verify(tr, xvOptions())
+			if !res.Clean() {
+				t.Errorf("%s/%s: %d violations; first: %v",
+					w.Name(), mode, len(res.Violations), res.Violations[0])
+			}
+			if res.Classes <= res.Epochs {
+				t.Errorf("%s/%s: classes=%d epochs=%d — class enumeration looks degenerate",
+					w.Name(), mode, res.Classes, res.Epochs)
+			}
+		}
+	}
+}
+
+// Legacy-persistency traces (no CounterAtomic, no counter writebacks) on
+// an encrypted NVMM are the paper's §2.2 motivating failure; the
+// verifier must reject them.
+func TestLegacyTraceFlaggedStatically(t *testing.T) {
+	p := xvParams()
+	p.Legacy = true
+	tr := buildTrace(t, &workloads.ArraySwap{}, p)
+	res := verify.Verify(tr, xvOptions())
+	if res.Clean() {
+		t.Fatal("legacy trace verified clean")
+	}
+	hasV3 := false
+	for _, v := range res.Violations {
+		if v.Inv == "V3" {
+			hasV3 = true
+			break
+		}
+	}
+	if !hasV3 {
+		t.Errorf("legacy trace drew no V3 (unsealed mutation): first violation %v", res.Violations[0])
+	}
+}
+
+// crossValidate checks one mutant against all three oracles.
+func crossValidate(t *testing.T, w workloads.Workload, m check.Mutant) {
+	t.Helper()
+
+	// Oracle 1: the dynamic linter flags the mutant.
+	ds := check.Check(m.Trace, check.Options{Arenas: []persist.Arena{xvArena()}})
+	if len(ds) == 0 {
+		t.Fatalf("%s: dynamic linter found nothing", m.Name)
+	}
+
+	// Oracle 2: static verification fails too.
+	res := verify.Verify(m.Trace, xvOptions())
+	if res.Clean() {
+		t.Fatalf("%s: dynamic linter flags it (%s at op %d) but static verification is clean",
+			m.Name, ds[0].Rule, ds[0].OpIndex)
+	}
+
+	// Oracle 3: at least one counterexample schedule reproduces the
+	// failure functionally.
+	reproduced := false
+	for _, v := range res.Violations {
+		if v.Schedule == nil {
+			continue
+		}
+		out, err := crash.ReplaySchedule(w, m.Trace, xvArena(), v.Schedule)
+		if err != nil {
+			t.Fatalf("%s: replaying %s: %v", m.Name, v.Schedule, err)
+		}
+		if out.Reproduced {
+			reproduced = true
+			break
+		}
+	}
+	if !reproduced {
+		t.Errorf("%s: none of %d counterexample schedules reproduced functionally; first violation: %v",
+			m.Name, len(res.Violations), res.Violations[0])
+	}
+}
+
+func TestCrossValidationTransactional(t *testing.T) {
+	for _, mode := range []persist.TxMode{persist.Undo, persist.Redo} {
+		for _, w := range workloads.All() {
+			w := w
+			p := xvParams()
+			p.TxMode = mode
+			t.Run(w.Name()+"/"+mode.String(), func(t *testing.T) {
+				tr := buildTrace(t, w, p)
+				ms, err := check.TxMutants(tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, m := range ms {
+					crossValidate(t, w, m)
+				}
+			})
+		}
+	}
+}
+
+func TestCrossValidationLinkedList(t *testing.T) {
+	w := &workloads.LinkedList{}
+	tr := buildTrace(t, w, xvParams())
+	ms, err := check.ListMutants(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		crossValidate(t, w, m)
+	}
+}
+
+// Counterexample files survive the disk round trip and still reproduce
+// after the trace is rebuilt from the recorded parameters — the exact
+// path `crashtest -schedule` takes.
+func TestCounterexampleFileRoundTrip(t *testing.T) {
+	w := &workloads.ArraySwap{}
+	p := xvParams()
+	tr := buildTrace(t, w, p)
+	m, err := check.MutantByName(tr, "drop-prepare-ccwb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := verify.Verify(m.Trace, xvOptions())
+	var sched *verify.Schedule
+	for _, v := range res.Violations {
+		if v.Schedule == nil {
+			continue
+		}
+		out, err := crash.ReplaySchedule(w, m.Trace, xvArena(), v.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Reproduced {
+			sched = v.Schedule
+			break
+		}
+	}
+	if sched == nil {
+		t.Fatal("no reproducing schedule to round-trip")
+	}
+
+	path := filepath.Join(t.TempDir(), "cex.json")
+	f := &verify.File{
+		Workload: w.Name(), TxMode: "undo",
+		Seed: p.Seed, Items: p.Items, Ops: p.Ops, OpsPerTx: p.OpsPerTx,
+		Cores: 1, Mutant: m.Name, Schedule: *sched,
+	}
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := verify.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild everything from the file alone, as the CLI does.
+	w2, err := workloads.ByName(g.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := workloads.Params{Seed: g.Seed, Items: g.Items, Ops: g.Ops, OpsPerTx: g.OpsPerTx}
+	tr2 := crash.BuildTraces(w2, p2, 1)[g.Schedule.Core]
+	m2, err := check.MutantByName(tr2, g.Mutant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := crash.ReplaySchedule(w2, m2.Trace, xvArena(), &g.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Reproduced {
+		t.Errorf("round-tripped schedule did not reproduce: %v", out)
+	}
+}
+
+// The catalog totals at least the 33 original mutants plus the five new
+// verifier-targeted operators per transactional workload.
+func TestMutantCatalogSize(t *testing.T) {
+	total := 0
+	for _, w := range workloads.All() {
+		ms, err := check.TxMutants(buildTrace(t, w, xvParams()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(ms)
+	}
+	ms, err := check.ListMutants(buildTrace(t, &workloads.LinkedList{}, xvParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total += len(ms)
+	if total < 33+5 {
+		t.Fatalf("catalog has %d mutants, want >= 38", total)
+	}
+}

@@ -1,0 +1,405 @@
+// Package verify is the static crash-image verifier: an abstract
+// interpreter over the trace IR that proves, for EVERY crash point of a
+// recorded execution — not a sample — that all reachable persisted images
+// satisfy the paper's crash-consistency invariants, or else emits a
+// concrete counterexample crash schedule replayable through the crash
+// harness (cmd/crashtest -schedule).
+//
+// # Crash model
+//
+// The model is the paper's extended-ADR failure semantics (§5.2.2) plus
+// the cache reality every persistency protocol must survive:
+//
+//   - A store's new data may reach NVM at ANY time after the store — a
+//     cache eviction needs no clwb. For a plain store the line is written
+//     back encrypted under its bumped counter while the counter itself
+//     stays in the volatile counter cache, so an eviction-persisted line
+//     decrypts to garbage until its counter also persists (Eq. 4).
+//   - A clwb/counter_cache_writeback is "in flight" from issue until the
+//     next retired sfence: at a crash it has independently either reached
+//     NVM or been lost.
+//   - After the sfence retires, the writeback is DEFINITELY persistent.
+//   - A CounterAtomic line persists data and counter atomically (§4.3),
+//     whether written back explicitly or evicted; it is never garbled,
+//     only atomically old or new.
+//
+// # Equivalence classes
+//
+// A crash point is an instant between two trace ops together with an
+// outcome for every in-flight writeback — exponentially many raw crash
+// states. Two prunings (WITCHER/Yat-style) make verification linear in
+// trace length:
+//
+//   - Crash points between ops that do not change the reachable persisted
+//     image set (reads, compute, transaction markers) collapse into one
+//     representative class; only Write/Clwb/CCWB/Sfence ops open a new
+//     class.
+//   - Within a class the in-flight subsets are never enumerated: each
+//     invariant is a two-literal implication ("switch persisted" and
+//     "dependency not persisted"), so a violating subset exists iff the
+//     switch is possibly-persisted while a dependency is not
+//     definitely-persisted. The per-epoch persist-set facts (definite /
+//     in-flight / volatile per line and per counter) summarize everything
+//     the invariants can observe.
+//
+// Because eviction makes a store possibly-persistent immediately, every
+// invariant is checked at the op that opens the earliest class where the
+// antecedent can hold; all later classes in the same window are implied.
+//
+// # Invariants
+//
+//	V1  counter-atomic switch while an earlier store's DATA is not
+//	    definitely persisted: a crash class persists the switch (eviction
+//	    suffices) but drops the payload — publish-before-persist.
+//	V2  counter-atomic switch while an earlier store's COUNTER is not
+//	    definitely persisted: the published line decrypts to garbage in
+//	    some class — the paper's §2.2 failure.
+//	V3  in-place mutation inside a transaction before the log seal (the
+//	    valid-flag CounterAtomic store) is definitely persisted: a class
+//	    evicts the half-mutated line with no recoverable backup.
+//	V4  durability: a line still volatile or unfenced at TxEnd or at the
+//	    end of the trace — a class immediately after the "completed"
+//	    program loses the committed effect.
+//
+// V1/V2 are the exhaustive forms of the dynamic linter's R3/R4, V3 of R5,
+// V4 of R1/R2 (internal/check); every trace mutant the dynamic rules
+// catch fails static verification too, with a reproducing schedule — the
+// cross-validation suite in this package enforces exactly that.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"encnvm/internal/mem"
+	"encnvm/internal/persist"
+	"encnvm/internal/trace"
+)
+
+// Options configures one verification run.
+type Options struct {
+	// Arenas locates per-core log regions so the verifier can tell log
+	// writes (prepare/commit stages) from in-place mutations. Leaving it
+	// empty and IsLog nil disables V3, exactly like the dynamic linter's
+	// R5.
+	Arenas []persist.Arena
+	// IsLog overrides the log classifier derived from Arenas.
+	IsLog func(addr mem.Addr) bool
+	// Core is recorded in emitted schedules (default 0).
+	Core int
+}
+
+// Violation is one invariant breach, anchored to the op that opens the
+// earliest violating crash class.
+type Violation struct {
+	Inv      string   // "V0".."V4"
+	OpIndex  int      // op opening the violating class
+	Addr     mem.Addr // the dependency/victim line (not the switch)
+	Message  string
+	Schedule *Schedule // reproducing crash schedule (nil for V0)
+}
+
+// String renders the violation in the linter's one-line form.
+func (v Violation) String() string {
+	return fmt.Sprintf("op %d: %s: %s", v.OpIndex, v.Inv, v.Message)
+}
+
+// Result summarizes one verified trace.
+type Result struct {
+	Ops        int // trace length
+	Epochs     int // sfence-delimited persist windows
+	Classes    int // crash-point equivalence classes enumerated
+	Violations []Violation
+}
+
+// Clean reports whether every crash class satisfied every invariant.
+func (r Result) Clean() bool { return len(r.Violations) == 0 }
+
+// lineState is the per-line persist-set summary the invariants observe.
+type lineState struct {
+	addr      mem.Addr
+	storedAt  int  // op index of the latest store (-1: never stored)
+	ca        bool // latest store was CounterAtomic
+	storeInTx bool // latest store happened inside the open transaction
+
+	dataWBAt int  // in-flight clwb for the latest content (-1: none)
+	dataSafe bool // NVM definitely holds the latest content
+
+	ctrWBAt int  // in-flight counter writeback covering the latest bump (-1: none)
+	ctrSafe bool // NVM counter definitely matches the latest content
+}
+
+// safe reports the line is definitely readable-as-latest after any crash.
+func (l *lineState) safe() bool { return l.dataSafe && l.ctrSafe }
+
+// verifier threads the abstract state through one core's trace.
+type verifier struct {
+	opts  Options
+	isLog func(mem.Addr) bool
+
+	lines     map[mem.Addr]*lineState
+	lineOrder []mem.Addr // first-touch order, for deterministic scans
+	groups    map[mem.Addr][]mem.Addr
+
+	inTx     bool
+	sealSeen bool     // a CounterAtomic log store occurred in the open tx
+	sealLine mem.Addr // its line
+	sealAt   int
+
+	epoch   int
+	classes int
+
+	res Result
+}
+
+// Verify statically checks every crash-point equivalence class of tr.
+// A structurally invalid trace yields a single V0 violation (the stream
+// cannot be trusted) and no further analysis.
+func Verify(tr *trace.Trace, opts Options) Result {
+	if err := tr.Validate(); err != nil {
+		return Result{Ops: tr.Len(), Violations: []Violation{{
+			Inv: "V0", Message: "invalid trace: " + err.Error(),
+		}}}
+	}
+	v := &verifier{
+		opts:   opts,
+		lines:  make(map[mem.Addr]*lineState),
+		groups: make(map[mem.Addr][]mem.Addr),
+	}
+	switch {
+	case opts.IsLog != nil:
+		v.isLog = opts.IsLog
+	case len(opts.Arenas) > 0:
+		arenas := opts.Arenas
+		v.isLog = func(a mem.Addr) bool {
+			for _, ar := range arenas {
+				if a >= ar.LogBase() && a < ar.HeapBase() {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	v.res.Ops = tr.Len()
+	v.classes = 1 // the class before any op
+	for i, op := range tr.Ops {
+		v.step(tr, i, op)
+	}
+	v.finish(tr)
+	v.res.Classes = v.classes
+	v.res.Epochs = v.epoch + 1
+	sort.SliceStable(v.res.Violations, func(a, b int) bool {
+		x, y := v.res.Violations[a], v.res.Violations[b]
+		if x.OpIndex != y.OpIndex {
+			return x.OpIndex < y.OpIndex
+		}
+		if x.Inv != y.Inv {
+			return x.Inv < y.Inv
+		}
+		return x.Addr < y.Addr
+	})
+	return v.res
+}
+
+func (v *verifier) line(a mem.Addr) *lineState {
+	a = a.LineAddr()
+	ls, ok := v.lines[a]
+	if !ok {
+		ls = &lineState{addr: a, storedAt: -1, dataWBAt: -1, ctrWBAt: -1}
+		v.lines[a] = ls
+		v.lineOrder = append(v.lineOrder, a)
+		g := ctrGroup(a)
+		v.groups[g] = append(v.groups[g], a)
+	}
+	return ls
+}
+
+// ctrGroup returns the counter-line group base covering addr, matching
+// the persist runtime's coalescing (mem.CountersPerLine data lines per
+// counter line).
+func ctrGroup(addr mem.Addr) mem.Addr {
+	return addr.LineAddr() &^ (mem.CountersPerLine*mem.LineBytes - 1)
+}
+
+// step advances the machine by one op, running the invariant checks that
+// the op's crash class makes decidable. Checks observe the state BEFORE
+// the op is applied — the class opened by op i contains the op's own
+// effect as possibly-persisted, and the pre-state is what it publishes.
+func (v *verifier) step(tr *trace.Trace, i int, op trace.Op) {
+	switch op.Kind {
+	case trace.Write:
+		v.classes++
+		if op.CounterAtomic {
+			v.checkSwitch(tr, i, op)
+		} else if v.inTx && v.isLog != nil && !v.isLog(op.Addr) {
+			v.checkMutate(tr, i, op)
+		}
+		v.applyWrite(i, op)
+	case trace.Clwb:
+		v.classes++
+		ls := v.line(op.Addr)
+		if ls.storedAt >= 0 && !ls.dataSafe && ls.dataWBAt < 0 {
+			ls.dataWBAt = i
+			if ls.ca {
+				// A CounterAtomic writeback carries its counter.
+				ls.ctrWBAt = i
+			}
+		}
+	case trace.CCWB:
+		v.classes++
+		g := ctrGroup(op.Addr)
+		for _, a := range v.groups[g] {
+			ls := v.lines[a]
+			if ls.storedAt >= 0 && !ls.ca && !ls.ctrSafe && ls.ctrWBAt < 0 {
+				ls.ctrWBAt = i
+			}
+		}
+	case trace.Sfence:
+		v.classes++
+		v.epoch++
+		for _, a := range v.lineOrder {
+			ls := v.lines[a]
+			if ls.dataWBAt >= 0 {
+				ls.dataSafe = true
+				ls.dataWBAt = -1
+			}
+			if ls.ctrWBAt >= 0 {
+				ls.ctrSafe = true
+				ls.ctrWBAt = -1
+			}
+		}
+	case trace.TxBegin:
+		v.inTx = true
+		v.sealSeen = false
+	case trace.TxEnd:
+		v.checkTxEnd(tr, i)
+		v.inTx = false
+		v.sealSeen = false
+		for _, a := range v.lineOrder {
+			v.lines[a].storeInTx = false
+		}
+	}
+}
+
+// applyWrite updates the persist-set facts for a store.
+func (v *verifier) applyWrite(i int, op trace.Op) {
+	ls := v.line(op.Addr)
+	ls.storedAt = i
+	ls.ca = op.CounterAtomic
+	ls.storeInTx = v.inTx
+	ls.dataSafe = false
+	ls.dataWBAt = -1
+	if op.CounterAtomic {
+		// Data and counter persist atomically: the counter is exactly as
+		// safe as the data, tracked through the data writeback.
+		ls.ctrSafe = false
+		ls.ctrWBAt = -1
+		if v.inTx && v.isLog != nil && v.isLog(op.Addr) {
+			if v.sealSeen && op.Addr.LineAddr() == v.sealLine {
+				// The commit record releases the seal.
+				v.sealSeen = false
+			} else {
+				v.sealSeen = true
+				v.sealLine = op.Addr.LineAddr()
+				v.sealAt = i
+			}
+		}
+	} else {
+		// A plain store bumps the line's counter in the volatile counter
+		// cache: data and counter now persist independently.
+		ls.ctrSafe = false
+		ls.ctrWBAt = -1
+	}
+}
+
+// sealDurable reports whether the open transaction's seal is definitely
+// persisted (valid flag readable after every crash).
+func (v *verifier) sealDurable() bool {
+	if !v.sealSeen {
+		return false
+	}
+	return v.lines[v.sealLine].safe()
+}
+
+// checkSwitch verifies V1/V2 at a CounterAtomic store: in the class this
+// op opens, the switch line is possibly-persisted (eviction suffices), so
+// every earlier store it publishes must already be definitely readable.
+func (v *verifier) checkSwitch(tr *trace.Trace, i int, op trace.Op) {
+	target := op.Addr.LineAddr()
+	for _, a := range v.lineOrder {
+		ls := v.lines[a]
+		if a == target || ls.storedAt < 0 || ls.safe() {
+			continue
+		}
+		if !ls.dataSafe {
+			v.res.Violations = append(v.res.Violations, Violation{
+				Inv: "V1", OpIndex: i, Addr: a,
+				Message: fmt.Sprintf("counter-atomic switch of %#x while data of line %#x (stored at op %d) is not definitely persisted",
+					target, a, ls.storedAt),
+				Schedule: v.switchSchedule(tr, i, ls),
+			})
+			continue
+		}
+		v.res.Violations = append(v.res.Violations, Violation{
+			Inv: "V2", OpIndex: i, Addr: a,
+			Message: fmt.Sprintf("counter-atomic switch of %#x while the counter of line %#x (stored at op %d) is not definitely persisted: the line decrypts to garbage in some crash class",
+				target, a, ls.storedAt),
+			Schedule: v.switchSchedule(tr, i, ls),
+		})
+	}
+}
+
+// checkMutate verifies V3 at an in-place transactional store: the store
+// is possibly-persisted (and possibly garbled) from this class onward, so
+// the log seal must already be durable or the mutation is unrecoverable.
+func (v *verifier) checkMutate(tr *trace.Trace, i int, op trace.Op) {
+	if v.sealDurable() {
+		return
+	}
+	why := "no counter-atomic log seal has occurred"
+	if v.sealSeen {
+		why = fmt.Sprintf("the seal at op %d is not definitely persisted", v.sealAt)
+	}
+	v.res.Violations = append(v.res.Violations, Violation{
+		Inv: "V3", OpIndex: i, Addr: op.Addr.LineAddr(),
+		Message: fmt.Sprintf("in-place mutation of line %#x while %s: an eviction class persists the garbled line with no recoverable backup",
+			op.Addr.LineAddr(), why),
+		Schedule: v.mutateSchedule(i, op),
+	})
+}
+
+// checkTxEnd verifies V4 at a transaction boundary: everything the
+// transaction stored must be definitely readable, or the class right
+// after TxEnd loses a committed effect.
+func (v *verifier) checkTxEnd(tr *trace.Trace, i int) {
+	for _, a := range v.lineOrder {
+		ls := v.lines[a]
+		if !ls.storeInTx || ls.storedAt < 0 || ls.safe() {
+			continue
+		}
+		v.res.Violations = append(v.res.Violations, Violation{
+			Inv: "V4", OpIndex: i, Addr: a,
+			Message: fmt.Sprintf("line %#x (stored at op %d) not definitely persisted at TxEnd",
+				a, ls.storedAt),
+			Schedule: v.durabilitySchedule(i, ls),
+		})
+	}
+}
+
+// finish verifies V4 at the end of the trace: the program has completed,
+// so every store must be definitely readable.
+func (v *verifier) finish(tr *trace.Trace) {
+	n := tr.Len()
+	for _, a := range v.lineOrder {
+		ls := v.lines[a]
+		if ls.storedAt < 0 || ls.safe() {
+			continue
+		}
+		v.res.Violations = append(v.res.Violations, Violation{
+			Inv: "V4", OpIndex: n - 1, Addr: a,
+			Message: fmt.Sprintf("line %#x (stored at op %d) not definitely persisted at end of trace",
+				a, ls.storedAt),
+			Schedule: v.durabilitySchedule(n-1, ls),
+		})
+	}
+}

@@ -164,8 +164,13 @@ func (t *Trace) Transactions() int {
 	return ends
 }
 
-// Validate checks structural sanity: every op well-formed per
-// Op.Validate, and balanced transaction markers.
+// Validate checks whole-trace structural sanity on top of the per-op
+// Op.Validate: every op well-formed, transaction markers balanced and
+// unnested (the runtime's model is one open transaction per core). Every
+// trace ingestion point — replay.New, the crash harness, traceinfo, the
+// static verifier — calls this before trusting the stream; op indices in
+// downstream diagnostics are positions in Ops and are monotone by
+// construction.
 func (t *Trace) Validate() error {
 	depth := 0
 	for i, op := range t.Ops {
@@ -175,6 +180,9 @@ func (t *Trace) Validate() error {
 		switch op.Kind {
 		case TxBegin:
 			depth++
+			if depth > 1 {
+				return fmt.Errorf("trace: nested TxBegin at op %d", i)
+			}
 		case TxEnd:
 			depth--
 			if depth < 0 {
@@ -184,6 +192,22 @@ func (t *Trace) Validate() error {
 	}
 	if depth != 0 {
 		return fmt.Errorf("trace: %d unclosed transactions", depth)
+	}
+	return nil
+}
+
+// ValidateAll validates one trace per core, reporting the offending core.
+// It is the multi-core ingestion check: replay and the crash harness take
+// a trace set, and a single malformed core stream must poison the whole
+// set before any of it is replayed.
+func ValidateAll(traces []*Trace) error {
+	for i, tr := range traces {
+		if tr == nil {
+			return fmt.Errorf("trace: core %d: nil trace", i)
+		}
+		if err := tr.Validate(); err != nil {
+			return fmt.Errorf("core %d: %w", i, err)
+		}
 	}
 	return nil
 }
