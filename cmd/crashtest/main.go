@@ -4,8 +4,12 @@
 //
 // Usage:
 //
-//	crashtest [-design sca] [-workload all] [-points 32] [-legacy] [-cores 1]
+//	crashtest [-design sca] [-workload all] [-points 32] [-legacy] [-cores 1] [-j N]
 //	crashtest -schedule counterexample.json
+//
+// Crash points are independent injections (each builds its own engine
+// over the shared read-only traces), so sweeps fan out over -j workers
+// (default GOMAXPROCS); the report is identical for every -j.
 //
 // With -legacy the workload uses pre-paper persistency primitives (no
 // counter_cache_writeback, no CounterAtomic), reproducing the §2.2
@@ -53,6 +57,7 @@ func main() {
 	items := flag.Int("items", 128, "initial structure population")
 	ops := flag.Int("ops", 48, "operations per core")
 	seed := flag.Int64("seed", 42, "workload RNG seed")
+	jobs := flag.Int("j", 0, "concurrent crash-point injections; <= 0 means GOMAXPROCS")
 	schedule := flag.String("schedule", "", "replay a verifier counterexample file and exit")
 	flag.Parse()
 
@@ -81,7 +86,7 @@ func main() {
 	cfg := config.Default(d).WithCores(*cores)
 	anyFail := false
 	for _, w := range targets {
-		rep, err := crash.Sweep(cfg, w, p, *points)
+		rep, err := crash.SweepJ(cfg, w, p, *points, *jobs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -2,40 +2,43 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|full] [-figure all|table1|table2|fig4|fig8|fig12|fig13|fig14|fig15|fig16|fig17]
+//	experiments [-scale quick|full] [-j N] [-progress file]
+//	            [-figure all|table1|table2|fig4|fig8|fig12|fig13|fig14|fig15|fig16|fig17|lifetime|osiris]
 //
 // Each figure prints the same rows/series the paper reports, produced by
 // this repository's simulator. See EXPERIMENTS.md for the expected shapes
 // and the recorded full-scale results.
+//
+// Stdout carries only figure rows in simulated time, so it can be piped
+// to golden files or statdiff; wall-clock timing lines and per-cell
+// progress go to stderr (or the -progress file). -j sets how many
+// simulation cells run concurrently (default GOMAXPROCS); the output is
+// byte-identical for every -j value.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
 	"encnvm/internal/exp"
+	"encnvm/internal/probe"
 )
 
-func main() {
-	scaleName := flag.String("scale", "quick", "experiment scale: quick|full")
-	figure := flag.String("figure", "all", "which figure to regenerate")
-	flag.Parse()
-
-	sc, err := exp.ScaleByName(*scaleName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
-	out := os.Stdout
-	runners := []struct {
+// figureRunners builds the ordered figure list writing to out.
+func figureRunners(sc exp.Scale, out io.Writer) []struct {
+	name string
+	fn   func() error
+} {
+	return []struct {
 		name string
 		fn   func() error
 	}{
-		{"table2", func() error { exp.Table2(out); return nil }},
-		{"table1", func() error { exp.Table1(out); return nil }},
+		{"table2", func() error { return exp.Table2(out) }},
+		{"table1", func() error { return exp.Table1(out) }},
 		{"fig4", func() error { _, err := exp.Fig4(sc, out); return err }},
 		{"fig8", func() error { _, err := exp.Fig8(out); return err }},
 		{"fig12", func() error { _, err := exp.Fig12(sc, out); return err }},
@@ -47,22 +50,75 @@ func main() {
 		{"lifetime", func() error { _, err := exp.Lifetime(sc, out); return err }},
 		{"osiris", func() error { _, err := exp.Osiris(sc, out); return err }},
 	}
+}
 
-	ran := 0
+// run is main with its streams and exit code lifted out for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scaleName := fs.String("scale", "quick", "experiment scale: quick|full")
+	figure := fs.String("figure", "all", "which figure to regenerate (or 'all')")
+	jobs := fs.Int("j", 0, "concurrent simulation cells; <= 0 means GOMAXPROCS")
+	progress := fs.String("progress", "", "append per-cell JSONL progress records to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	sc, err := exp.ScaleByName(*scaleName)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	sc.Jobs = *jobs
+
+	if *progress != "" {
+		f, err := os.Create(*progress)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		defer f.Close()
+		sc.Progress = probe.RunnerProgress(f)
+	}
+
+	runners := figureRunners(sc, stdout)
+
+	// Validate -figure before running anything, so a typo fails fast
+	// with the full list instead of after minutes of simulation.
+	if *figure != "all" {
+		known := false
+		for _, r := range runners {
+			if r.name == *figure {
+				known = true
+				break
+			}
+		}
+		if !known {
+			var names []string
+			for _, r := range runners {
+				names = append(names, r.name)
+			}
+			fmt.Fprintf(stderr, "unknown figure %q (valid: all %s)\n", *figure, strings.Join(names, " "))
+			return 2
+		}
+	}
+
 	for _, r := range runners {
 		if *figure != "all" && *figure != r.name {
 			continue
 		}
-		ran++
 		start := time.Now()
 		if err := r.fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "%s: %v\n", r.name, err)
+			return 1
 		}
-		fmt.Printf("[%s done in %v]\n", r.name, time.Since(start).Round(time.Millisecond))
+		// Wall-clock timing is operational noise: stderr only, so stdout
+		// stays simulated-time figure rows.
+		fmt.Fprintf(stderr, "[%s done in %v]\n", r.name, time.Since(start).Round(time.Millisecond))
 	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *figure)
-		os.Exit(2)
-	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"encnvm/internal/exp"
+)
+
+// Stdout must carry only figure rows: running one figure through the CLI
+// produces byte-for-byte the library's output, with the wall-clock
+// timing line on stderr. This is the regression test for the bug where
+// `[fig12 done in ...]` landed on stdout and broke golden-file diffs.
+func TestStdoutCarriesOnlyFigureRows(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-figure", "fig12", "-scale", "quick"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+
+	var want bytes.Buffer
+	if _, err := exp.Fig12(exp.Quick, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want.Bytes()) {
+		t.Errorf("CLI stdout differs from exp.Fig12 output:\n--- cli ---\n%s--- lib ---\n%s",
+			stdout.String(), want.String())
+	}
+	if strings.Contains(stdout.String(), "done in") {
+		t.Error("wall-clock timing line leaked onto stdout")
+	}
+	if !strings.Contains(stderr.String(), "[fig12 done in ") {
+		t.Errorf("timing line missing from stderr:\n%s", stderr.String())
+	}
+}
+
+// The full figure set must be byte-identical whatever -j is — the
+// determinism contract the parallel fan-out promises.
+func TestOutputByteIdenticalAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole quick-scale figure set twice")
+	}
+	outs := make(map[string][]byte)
+	for _, j := range []string{"1", "8"} {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-figure", "all", "-scale", "quick", "-j", j}, &stdout, &stderr); code != 0 {
+			t.Fatalf("-j %s: exit %d, stderr:\n%s", j, code, stderr.String())
+		}
+		outs[j] = stdout.Bytes()
+	}
+	if !bytes.Equal(outs["1"], outs["8"]) {
+		t.Error("-j 1 and -j 8 stdout differ")
+	}
+}
+
+// A bad -figure must fail fast with exit 2 and the full list of valid
+// names — before any simulation runs — and the list must include the
+// analyses (lifetime, osiris) the doc comment used to omit.
+func TestUnknownFigureRejectedUpfront(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-figure", "fig99"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("stdout not empty on usage error:\n%s", stdout.String())
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, `unknown figure "fig99"`) {
+		t.Errorf("error does not name the bad figure: %s", msg)
+	}
+	for _, name := range []string{"all", "table1", "table2", "fig4", "fig8", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "fig17", "lifetime", "osiris"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error does not list valid name %q: %s", name, msg)
+		}
+	}
+}
+
+func TestUnknownScaleRejected(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scale", "huge", "-figure", "table1"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("stdout not empty on usage error:\n%s", stdout.String())
+	}
+}
+
+// The -progress sink must receive one JSONL record per cell without
+// perturbing stdout.
+func TestProgressSink(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/progress.jsonl"
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-figure", "fig12", "-scale", "quick", "-progress", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	var want bytes.Buffer
+	if _, err := exp.Fig12(exp.Quick, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want.Bytes()) {
+		t.Error("-progress changed stdout")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"cell":"fig12/`)) || !bytes.Contains(data, []byte(`"wall_ms"`)) {
+		t.Errorf("progress file missing cell records:\n%.400s", data)
+	}
+}

@@ -1,10 +1,12 @@
 package check
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"encnvm/internal/persist"
-	"encnvm/internal/trace"
+	"encnvm/internal/runner"
 	"encnvm/internal/workloads"
 )
 
@@ -15,24 +17,50 @@ import (
 // suite and cmd/crashtest -schedule can regenerate identical mutants;
 // every transactional workload yields eleven mutants, the log-free
 // linked list three more.
+//
+// Each mutant's lint is an independent check over its own trace copy, so
+// the suite shards the catalog over the runner (and the per-workload
+// subtests run with t.Parallel), which also race-checks Check itself
+// under `go test -race`.
 
-// expectFlagged asserts the mutant draws at least one diagnostic with the
-// given rule at the given op index (-1: any index).
-func expectFlagged(t *testing.T, name string, mutant *trace.Trace, rule string, at int) {
+// lintVerdict is one sharded mutant check's outcome; fail is non-empty
+// when the mutant did not draw the expected diagnostic.
+type lintVerdict struct {
+	fail string
+}
+
+// lintMutants checks every mutant concurrently and reports each one that
+// did not draw the expected diagnostic. Shard results come back in
+// catalog order, so failure output is deterministic.
+func lintMutants(t *testing.T, ms []Mutant) {
 	t.Helper()
-	ds := Check(mutant, Options{Arenas: []persist.Arena{testArena()}})
-	for _, d := range ds {
-		if d.Rule == rule && (at < 0 || d.OpIndex == at) {
-			return
+	verdicts, err := runner.MapValues(context.Background(), ms,
+		func(_ context.Context, m Mutant) (lintVerdict, error) {
+			ds := Check(m.Trace, Options{Arenas: []persist.Arena{testArena()}})
+			for _, d := range ds {
+				if d.Rule == m.Rule && (m.At < 0 || d.OpIndex == m.At) {
+					return lintVerdict{}, nil
+				}
+			}
+			return lintVerdict{fmt.Sprintf("%s: no %s diagnostic at op %d; got %v",
+				m.Name, m.Rule, m.At, ds)}, nil
+		},
+		runner.Options{Label: func(i int) string { return "mutant/" + ms[i].Name }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range verdicts {
+		if v.fail != "" {
+			t.Error(v.fail)
 		}
 	}
-	t.Errorf("%s: no %s diagnostic at op %d; got %v", name, rule, at, ds)
 }
 
 func TestMutantsTransactionalWorkloads(t *testing.T) {
 	for _, w := range workloads.All() {
 		w := w
 		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
 			tr := buildTrace(t, w, testParams())
 			if ds := Check(tr, Options{Arenas: []persist.Arena{testArena()}}); len(ds) != 0 {
 				t.Fatalf("baseline not clean: %v", ds[0])
@@ -44,9 +72,7 @@ func TestMutantsTransactionalWorkloads(t *testing.T) {
 			if len(ms) < 11 {
 				t.Fatalf("catalog has %d transactional mutants, want >= 11", len(ms))
 			}
-			for _, m := range ms {
-				expectFlagged(t, m.Name, m.Trace, m.Rule, m.At)
-			}
+			lintMutants(t, ms)
 		})
 	}
 }
@@ -66,34 +92,75 @@ func TestMutantsLinkedList(t *testing.T) {
 	if len(ms) != 3 {
 		t.Fatalf("catalog has %d linked-list mutants, want 3", len(ms))
 	}
-	for _, m := range ms {
-		expectFlagged(t, m.Name, m.Trace, m.Rule, m.At)
-	}
+	lintMutants(t, ms)
 }
 
 // MutantByName must regenerate exactly the cataloged mutant — the
 // property cmd/crashtest -schedule relies on to replay counterexamples.
+// Regeneration of each mutant is independent, so this also shards.
 func TestMutantByName(t *testing.T) {
 	tr := buildTrace(t, &workloads.ArraySwap{}, testParams())
 	ms, err := TxMutants(tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range ms {
-		got, err := MutantByName(tr, want.Name)
-		if err != nil {
-			t.Fatalf("%s: %v", want.Name, err)
-		}
-		if got.Trace.Len() != want.Trace.Len() {
-			t.Fatalf("%s: regenerated length %d != %d", want.Name, got.Trace.Len(), want.Trace.Len())
-		}
-		for i := range want.Trace.Ops {
-			if got.Trace.Ops[i] != want.Trace.Ops[i] {
-				t.Fatalf("%s: regenerated trace differs at op %d", want.Name, i)
+	type verdict struct{ fail string }
+	verdicts, err := runner.MapValues(context.Background(), ms,
+		func(_ context.Context, want Mutant) (verdict, error) {
+			got, err := MutantByName(tr, want.Name)
+			if err != nil {
+				return verdict{fmt.Sprintf("%s: %v", want.Name, err)}, nil
 			}
+			if got.Trace.Len() != want.Trace.Len() {
+				return verdict{fmt.Sprintf("%s: regenerated length %d != %d",
+					want.Name, got.Trace.Len(), want.Trace.Len())}, nil
+			}
+			for i := range want.Trace.Ops {
+				if got.Trace.Ops[i] != want.Trace.Ops[i] {
+					return verdict{fmt.Sprintf("%s: regenerated trace differs at op %d", want.Name, i)}, nil
+				}
+			}
+			return verdict{}, nil
+		},
+		runner.Options{Label: func(i int) string { return "regen/" + ms[i].Name }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range verdicts {
+		if v.fail != "" {
+			t.Error(v.fail)
 		}
 	}
 	if _, err := MutantByName(tr, "no-such-mutant"); err == nil {
 		t.Fatal("unknown mutant name not rejected")
+	}
+}
+
+// The sharded checker must agree with a straight sequential loop over
+// the same catalog — linting one mutant must not depend on linting
+// another.
+func TestMutantShardingMatchesSequential(t *testing.T) {
+	tr := buildTrace(t, &workloads.Queue{}, testParams())
+	ms, err := TxMutants(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag := func(m Mutant) string {
+		return fmt.Sprint(Check(m.Trace, Options{Arenas: []persist.Arena{testArena()}}))
+	}
+	var seq []string
+	for _, m := range ms {
+		seq = append(seq, diag(m))
+	}
+	par, err := runner.MapValues(context.Background(), ms,
+		func(_ context.Context, m Mutant) (string, error) { return diag(m), nil },
+		runner.Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if par[i] != seq[i] {
+			t.Errorf("%s: sharded diagnostics differ:\n  seq: %s\n  par: %s", ms[i].Name, seq[i], par[i])
+		}
 	}
 }

@@ -1,6 +1,8 @@
 package verify_test
 
 import (
+	"context"
+	"fmt"
 	"path/filepath"
 	"testing"
 
@@ -8,6 +10,7 @@ import (
 	"encnvm/internal/check/verify"
 	"encnvm/internal/crash"
 	"encnvm/internal/persist"
+	"encnvm/internal/runner"
 	"encnvm/internal/trace"
 	"encnvm/internal/workloads"
 )
@@ -81,42 +84,57 @@ func TestLegacyTraceFlaggedStatically(t *testing.T) {
 	}
 }
 
-// crossValidate checks one mutant against all three oracles.
-func crossValidate(t *testing.T, w workloads.Workload, m check.Mutant) {
-	t.Helper()
-
+// crossValidate checks one mutant against all three oracles and returns
+// a description of the first disagreement, or "" if they all concur. It
+// runs inside a runner shard, so failures come back as data rather than
+// t.Fatal calls.
+func crossValidate(w workloads.Workload, m check.Mutant) string {
 	// Oracle 1: the dynamic linter flags the mutant.
 	ds := check.Check(m.Trace, check.Options{Arenas: []persist.Arena{xvArena()}})
 	if len(ds) == 0 {
-		t.Fatalf("%s: dynamic linter found nothing", m.Name)
+		return fmt.Sprintf("%s: dynamic linter found nothing", m.Name)
 	}
 
 	// Oracle 2: static verification fails too.
 	res := verify.Verify(m.Trace, xvOptions())
 	if res.Clean() {
-		t.Fatalf("%s: dynamic linter flags it (%s at op %d) but static verification is clean",
+		return fmt.Sprintf("%s: dynamic linter flags it (%s at op %d) but static verification is clean",
 			m.Name, ds[0].Rule, ds[0].OpIndex)
 	}
 
 	// Oracle 3: at least one counterexample schedule reproduces the
 	// failure functionally.
-	reproduced := false
 	for _, v := range res.Violations {
 		if v.Schedule == nil {
 			continue
 		}
 		out, err := crash.ReplaySchedule(w, m.Trace, xvArena(), v.Schedule)
 		if err != nil {
-			t.Fatalf("%s: replaying %s: %v", m.Name, v.Schedule, err)
+			return fmt.Sprintf("%s: replaying %s: %v", m.Name, v.Schedule, err)
 		}
 		if out.Reproduced {
-			reproduced = true
-			break
+			return ""
 		}
 	}
-	if !reproduced {
-		t.Errorf("%s: none of %d counterexample schedules reproduced functionally; first violation: %v",
-			m.Name, len(res.Violations), res.Violations[0])
+	return fmt.Sprintf("%s: none of %d counterexample schedules reproduced functionally; first violation: %v",
+		m.Name, len(res.Violations), res.Violations[0])
+}
+
+// crossValidateAll fans the mutant catalog out over the runner — each
+// mutant's three-oracle check builds its own replay systems, so shards
+// are independent; disagreements are reported in catalog order.
+func crossValidateAll(t *testing.T, w workloads.Workload, ms []check.Mutant) {
+	t.Helper()
+	fails, err := runner.MapValues(context.Background(), ms,
+		func(_ context.Context, m check.Mutant) (string, error) { return crossValidate(w, m), nil },
+		runner.Options{Label: func(i int) string { return "xval/" + w.Name() + "/" + ms[i].Name }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fails {
+		if f != "" {
+			t.Error(f)
+		}
 	}
 }
 
@@ -132,9 +150,7 @@ func TestCrossValidationTransactional(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				for _, m := range ms {
-					crossValidate(t, w, m)
-				}
+				crossValidateAll(t, w, ms)
 			})
 		}
 	}
@@ -147,9 +163,7 @@ func TestCrossValidationLinkedList(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, m := range ms {
-		crossValidate(t, w, m)
-	}
+	crossValidateAll(t, w, ms)
 }
 
 // Counterexample files survive the disk round trip and still reproduce

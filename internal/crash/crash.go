@@ -17,6 +17,7 @@
 package crash
 
 import (
+	"context"
 	"fmt"
 
 	"encnvm/internal/config"
@@ -24,6 +25,7 @@ import (
 	"encnvm/internal/mem"
 	"encnvm/internal/persist"
 	"encnvm/internal/replay"
+	"encnvm/internal/runner"
 	"encnvm/internal/sim"
 	"encnvm/internal/trace"
 	"encnvm/internal/workloads"
@@ -246,8 +248,20 @@ func InjectAt(cfg *config.Config, w workloads.Workload, traces []*trace.Trace,
 
 // Sweep crashes the workload at n points spread evenly over its execution
 // window and reports every outcome. The window is discovered with one
-// uncrashed probe run over the same traces.
+// uncrashed probe run over the same traces. Injections fan out over
+// GOMAXPROCS workers; use SweepJ to pick the degree explicitly.
 func Sweep(cfg *config.Config, w workloads.Workload, p workloads.Params, n int) (Report, error) {
+	return SweepJ(cfg, w, p, n, 0)
+}
+
+// SweepJ is Sweep with an explicit parallelism degree (workers <= 0 uses
+// GOMAXPROCS, 1 is the sequential loop). Every crash point is an
+// independent injection: InjectAt builds a fresh system — engine,
+// controller, device — per point over the shared read-only traces, and
+// each cell clones the Config since simulation instances are not
+// goroutine-safe. Results are collected in crash-point order, so the
+// report is identical to the sequential sweep's for every degree.
+func SweepJ(cfg *config.Config, w workloads.Workload, p workloads.Params, n, workers int) (Report, error) {
 	rep := Report{Design: cfg.Design, Workload: w.Name()}
 	traces := BuildTraces(w, p, cfg.NumCores)
 
@@ -260,21 +274,29 @@ func Sweep(cfg *config.Config, w workloads.Workload, p workloads.Params, n int) 
 		return rep, fmt.Errorf("crash: empty run")
 	}
 
+	// Skew towards the tail where commits and counter evictions cluster,
+	// but cover the whole run including t=0 and always the final instant.
+	points := make([]sim.Time, 0, n+1)
 	for i := 0; i < n; i++ {
-		// Skew towards the tail where commits and counter evictions
-		// cluster, but cover the whole run including t=0.
-		at := sim.Time(uint64(end) * uint64(i) / uint64(n))
-		res, err := InjectAt(cfg, w, traces, at)
-		if err != nil {
-			return rep, err
+		points = append(points, sim.Time(uint64(end)*uint64(i)/uint64(n)))
+	}
+	points = append(points, end)
+
+	rs := runner.Map(context.Background(), points,
+		func(_ context.Context, at sim.Time) (Result, error) {
+			cc := *cfg // own Config per cell
+			return InjectAt(&cc, w, traces, at)
+		},
+		runner.Options{Workers: workers, Label: func(i int) string {
+			return fmt.Sprintf("sweep/%s/%s/point%d", cfg.Design, w.Name(), i)
+		}})
+	for _, r := range rs {
+		if r.Err != nil {
+			// Match the sequential contract: the report carries the
+			// results before the first failing point, plus its error.
+			return rep, r.Err
 		}
-		rep.Results = append(rep.Results, res)
+		rep.Results = append(rep.Results, r.Value)
 	}
-	// Always include the final instant.
-	res, err := InjectAt(cfg, w, traces, end)
-	if err != nil {
-		return rep, err
-	}
-	rep.Results = append(rep.Results, res)
 	return rep, nil
 }

@@ -345,3 +345,65 @@ func TestFourCoreCrashConsistency(t *testing.T) {
 		}
 	}
 }
+
+// reportsEqual compares two sweep reports field by field; the parallel
+// sweep must reproduce the sequential one exactly, including the Osiris
+// recovery-cost accounting and per-point error strings.
+func reportsEqual(t *testing.T, seq, par Report) {
+	t.Helper()
+	if len(seq.Results) != len(par.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq.Results), len(par.Results))
+	}
+	for i := range seq.Results {
+		a, b := seq.Results[i], par.Results[i]
+		if a.CrashAt != b.CrashAt || a.LostCounterLines != b.LostCounterLines ||
+			a.RecoveredEntries != b.RecoveredEntries || a.CorruptLog != b.CorruptLog ||
+			a.Osiris != b.Osiris {
+			t.Errorf("point %d differs: %+v vs %+v", i, a, b)
+		}
+		aErr, bErr := "", ""
+		if a.Err != nil {
+			aErr = a.Err.Error()
+		}
+		if b.Err != nil {
+			bErr = b.Err.Error()
+		}
+		if aErr != bErr {
+			t.Errorf("point %d error differs: %q vs %q", i, aErr, bErr)
+		}
+	}
+}
+
+// TestSweepParallelDeterministic pins SweepJ's central property: the
+// sequential (workers=1) and parallel (workers=8) sweeps produce
+// identical reports, across two seeds and on both a surviving design
+// (SCA) and one with real failures (legacy software on Ideal).
+func TestSweepParallelDeterministic(t *testing.T) {
+	for _, seed := range []int64{21, 1234} {
+		p := smallParams
+		p.Seed = seed
+		for _, tc := range []struct {
+			design config.Design
+			legacy bool
+		}{
+			{config.SCA, false},
+			{config.Ideal, true},
+		} {
+			pp := p
+			pp.Legacy = tc.legacy
+			w := &workloads.ArraySwap{}
+			seq, err := SweepJ(config.Default(tc.design), w, pp, 10, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := SweepJ(config.Default(tc.design), w, pp, 10, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reportsEqual(t, seq, par)
+			if tc.legacy && len(seq.Failures()) == 0 {
+				t.Error("legacy sweep produced no failures to compare")
+			}
+		}
+	}
+}

@@ -15,8 +15,11 @@ import (
 )
 
 // Table2 prints the simulated system configuration (the paper's Table 2)
-// plus the §6.3.7 hardware overhead summary.
-func Table2(out io.Writer) {
+// plus the §6.3.7 hardware overhead summary. It returns the first write
+// error, so a closed pipe or full disk surfaces as a non-zero exit
+// instead of silently truncated output.
+func Table2(w io.Writer) error {
+	out := &errWriter{w: w}
 	c := config.Default(config.SCA)
 	header(out, "Table 2: system configuration")
 	fmt.Fprintf(out, "Processor         out-of-order cores, %.1fGHz (replayed trace model)\n", c.CPUFreq/1e9)
@@ -34,6 +37,7 @@ func Table2(out io.Writer) {
 	fmt.Fprintf(out, "\n§6.3.7 overhead: the only addition over prior encrypted-NVM hardware is\n")
 	fmt.Fprintf(out, "the %d-entry (%dKB) counter write queue at the memory controller.\n",
 		c.CounterWriteQueue, c.CounterWriteQueue*64>>10)
+	return out.err
 }
 
 // Fig4Result summarizes the motivating crash-failure demonstration.
@@ -62,7 +66,7 @@ func Fig4(sc Scale, out io.Writer) (Fig4Result, error) {
 	legacy := p
 	legacy.Legacy = true
 	for _, w := range workloads.All() {
-		rep, err := crash.Sweep(config.Default(config.Ideal), w, legacy, sc.CrashPoints)
+		rep, err := crash.SweepJ(config.Default(config.Ideal), w, legacy, sc.CrashPoints, sc.Jobs)
 		if err != nil {
 			return res, err
 		}
@@ -72,7 +76,7 @@ func Fig4(sc Scale, out io.Writer) (Fig4Result, error) {
 			w.Name(), len(rep.Failures()), len(rep.Results))
 	}
 	for _, w := range workloads.All() {
-		rep, err := crash.Sweep(config.Default(config.SCA), w, p, sc.CrashPoints)
+		rep, err := crash.SweepJ(config.Default(config.SCA), w, p, sc.CrashPoints, sc.Jobs)
 		if err != nil {
 			return res, err
 		}
@@ -138,11 +142,13 @@ func Fig8(out io.Writer) (Fig8Result, error) {
 
 // Table1 prints the per-stage consistency analysis of an undo-logging
 // transaction (the paper's Table 1); the claims are enforced by tests in
-// internal/persist and internal/crash.
-func Table1(out io.Writer) {
+// internal/persist and internal/crash. Returns the first write error.
+func Table1(w io.Writer) error {
+	out := &errWriter{w: w}
 	header(out, "Table 1: consistency states across undo-logging transaction stages")
 	fmt.Fprintln(out, "stage    backup copy     in-place data   counter-atomicity needed")
 	fmt.Fprintln(out, "prepare  inconsistent    consistent      no  (writes buffered until ccwb)")
 	fmt.Fprintln(out, "mutate   consistent      inconsistent    no  (writes buffered until ccwb)")
 	fmt.Fprintln(out, "commit   unknown         unknown         YES (valid-flag write flips the recoverable version)")
+	return out.err
 }

@@ -12,13 +12,16 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"encnvm/internal/config"
 	"encnvm/internal/core"
 	"encnvm/internal/crash"
+	"encnvm/internal/runner"
 	"encnvm/internal/trace"
 	"encnvm/internal/workloads"
 )
@@ -47,6 +50,16 @@ type Scale struct {
 	Fig16Lines []int
 	// Fig17Factors is the latency scale sweep (>1 slower, <1 faster).
 	Fig17Factors []float64
+
+	// Jobs is the simulation fan-out degree (the -j flag): how many
+	// independent cells — one engine/controller/device instance each —
+	// run concurrently. <= 0 uses GOMAXPROCS; 1 is the sequential loop.
+	// Figure output is byte-identical for every value, because rows are
+	// formatted from results collected in submission order.
+	Jobs int
+	// Progress, when non-nil, receives one record per completed cell
+	// (wall-clock telemetry for stderr/side files, never for stdout).
+	Progress func(runner.Progress)
 }
 
 // Quick is the test/smoke scale.
@@ -105,8 +118,13 @@ func (sc Scale) ParamsFor(name string) workloads.Params {
 
 // traceCache builds each workload's traces once per core count and reuses
 // them across designs — the controlled comparison every figure relies on.
+// It is goroutine-safe: parallel cells may get concurrently, and warm
+// builds several workloads' traces at once. Builds are deterministic
+// functions of (workload, params, cores), so whichever cell builds first
+// caches exactly the traces the sequential loop would have.
 type traceCache struct {
 	scale Scale
+	mu    sync.Mutex
 	byKey map[string][]*trace.Trace
 }
 
@@ -119,18 +137,45 @@ func (tc *traceCache) get(w workloads.Workload, cores int) []*trace.Trace {
 	// n-core trace set is a prefix of any larger one; cache the largest
 	// built so far and slice.
 	key := w.Name()
+	tc.mu.Lock()
 	tr := tc.byKey[key]
-	if len(tr) < cores {
-		tr = crash.BuildTraces(w, tc.scale.ParamsFor(w.Name()), cores)
-		tc.byKey[key] = tr
+	tc.mu.Unlock()
+	if len(tr) >= cores {
+		return tr[:cores]
 	}
-	return tr[:cores]
+	built := crash.BuildTraces(w, tc.scale.ParamsFor(key), cores)
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	// A concurrent get may have raced the build; keep the larger set so
+	// smaller core counts keep sharing its prefix.
+	if cur := tc.byKey[key]; len(cur) >= len(built) {
+		built = cur
+	} else {
+		tc.byKey[key] = built
+	}
+	return built[:cores]
+}
+
+// warm builds every listed workload's traces up front — concurrently,
+// under the scale's fan-out degree — so a following cell fan-out only
+// reads the cache. Trace building errors do not exist (builds panic only
+// on harness bugs, which the runner would surface as PanicErrors), so
+// warm ignores the results.
+func (tc *traceCache) warm(sc Scale, ws []workloads.Workload, cores int) {
+	runner.Map(context.Background(), ws,
+		func(_ context.Context, w workloads.Workload) (struct{}, error) {
+			tc.get(w, cores)
+			return struct{}{}, nil
+		},
+		sc.cellOpts(func(i int) string { return "warm/" + ws[i].Name() }))
 }
 
 // drop releases a workload's cached traces; multi-gigabyte sweeps call it
 // per workload to bound peak memory.
 func (tc *traceCache) drop(w workloads.Workload) {
+	tc.mu.Lock()
 	delete(tc.byKey, w.Name())
+	tc.mu.Unlock()
 }
 
 // run replays a workload's cached traces under one design.
@@ -154,4 +199,29 @@ func geomean(xs []float64) float64 {
 // header prints a figure banner.
 func header(out io.Writer, title string) {
 	fmt.Fprintf(out, "\n=== %s ===\n", title)
+}
+
+// cellOpts builds the runner options for one figure's fan-out.
+func (sc Scale) cellOpts(label func(i int) string) runner.Options {
+	return runner.Options{Workers: sc.Jobs, Label: label, OnDone: sc.Progress}
+}
+
+// errWriter wraps an io.Writer and remembers the first write error, so
+// table printers can report closed-pipe/full-disk failures without
+// threading an error through every Fprintf. Later writes after a failure
+// are suppressed.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	if err != nil {
+		ew.err = err
+	}
+	return n, err
 }

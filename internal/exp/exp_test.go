@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -217,11 +218,54 @@ func TestFig8Demo(t *testing.T) {
 
 func TestTablesPrint(t *testing.T) {
 	var sb strings.Builder
-	Table2(&sb)
-	Table1(&sb)
+	if err := Table2(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table1(&sb); err != nil {
+		t.Fatal(err)
+	}
 	for _, want := range []string{"counter write queue", "PCM", "prepare", "commit"} {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("table output missing %q", want)
+		}
+	}
+}
+
+// failAfterWriter accepts n bytes, then fails every write — a full disk
+// or closed pipe mid-table.
+type failAfterWriter struct {
+	n   int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, w.err
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// A failed write must surface as an error from the tables (and so as a
+// non-zero exit from cmd/experiments), not as silently truncated output.
+func TestTablesPropagateWriteError(t *testing.T) {
+	werr := errors.New("disk full")
+	for name, table := range map[string]func(io.Writer) error{
+		"table1": Table1, "table2": Table2,
+	} {
+		// Failing at byte 0 and mid-stream must both propagate.
+		for _, n := range []int{0, 40} {
+			if err := table(&failAfterWriter{n: n, err: werr}); !errors.Is(err, werr) {
+				t.Errorf("%s with writer failing after %d bytes: err = %v, want %v", name, n, err, werr)
+			}
+		}
+		if err := table(io.Discard); err != nil {
+			t.Errorf("%s on working writer: %v", name, err)
 		}
 	}
 }

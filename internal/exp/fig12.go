@@ -1,10 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"encnvm/internal/config"
+	"encnvm/internal/core"
+	"encnvm/internal/runner"
 	"encnvm/internal/workloads"
 )
 
@@ -20,11 +23,50 @@ type Fig12Result struct {
 // fig12Designs are the bars of the paper's Figure 12.
 var fig12Designs = []config.Design{config.SCA, config.FCA, config.CoLocated, config.CoLocatedCC}
 
+// designCell is one (workload, design) simulation of a single-core grid.
+type designCell struct {
+	w workloads.Workload
+	d config.Design
+}
+
+// runDesignGrid fans a (workload × design) grid out over the runner and
+// returns results in grid order: all of workload 0's designs, then
+// workload 1's, and so on. The trace cache is warmed first so cells only
+// read it.
+func runDesignGrid(sc Scale, tc *traceCache, fig string,
+	ws []workloads.Workload, designs []config.Design) ([]core.Result, error) {
+
+	tc.warm(sc, ws, 1)
+	cells := make([]designCell, 0, len(ws)*len(designs))
+	for _, w := range ws {
+		for _, d := range designs {
+			cells = append(cells, designCell{w, d})
+		}
+	}
+	return runner.MapValues(context.Background(), cells,
+		func(_ context.Context, c designCell) (core.Result, error) {
+			return tc.run(c.d, c.w, 1)
+		},
+		sc.cellOpts(func(i int) string {
+			return fmt.Sprintf("%s/%s/%v", fig, cells[i].w.Name(), cells[i].d)
+		}))
+}
+
 // Fig12 regenerates Figure 12: single-core runtime normalized to
 // no-encryption for SCA, FCA, Co-located and Co-located w/ C-Cache.
+// The grid's simulations fan out over the runner; rows are formatted
+// from the ordered results, so stdout is identical for every Jobs value.
 func Fig12(sc Scale, out io.Writer) (Fig12Result, error) {
 	res := Fig12Result{Normalized: make(map[string]map[config.Design]float64), Average: make(map[config.Design]float64)}
 	tc := newTraceCache(sc)
+
+	// NoEncryption first in every row: it is the normalization baseline.
+	designs := append([]config.Design{config.NoEncryption}, fig12Designs...)
+	ws := workloads.All()
+	rs, err := runDesignGrid(sc, tc, "fig12", ws, designs)
+	if err != nil {
+		return res, err
+	}
 
 	header(out, "Figure 12: single-core runtime normalized to NoEncryption (lower is better)")
 	fmt.Fprintf(out, "%-12s", "workload")
@@ -34,26 +76,20 @@ func Fig12(sc Scale, out io.Writer) (Fig12Result, error) {
 	fmt.Fprintln(out)
 
 	perDesign := make(map[config.Design][]float64)
-	for _, w := range workloads.All() {
-		base, err := tc.run(config.NoEncryption, w, 1)
-		if err != nil {
-			return res, err
-		}
-		row := make(map[config.Design]float64)
+	for wi, w := range ws {
+		row := rs[wi*len(designs) : (wi+1)*len(designs)]
+		base := row[0]
+		norms := make(map[config.Design]float64)
 		fmt.Fprintf(out, "%-12s", w.Name())
-		for _, d := range fig12Designs {
-			r, err := tc.run(d, w, 1)
-			if err != nil {
-				return res, err
-			}
-			norm := float64(r.Runtime) / float64(base.Runtime)
-			row[d] = norm
+		for di, d := range fig12Designs {
+			norm := float64(row[di+1].Runtime) / float64(base.Runtime)
+			norms[d] = norm
 			perDesign[d] = append(perDesign[d], norm)
 			fmt.Fprintf(out, " %22.3f", norm)
 		}
 		fmt.Fprintln(out)
 		res.Workloads = append(res.Workloads, w.Name())
-		res.Normalized[w.Name()] = row
+		res.Normalized[w.Name()] = norms
 	}
 	fmt.Fprintf(out, "%-12s", "average")
 	for _, d := range fig12Designs {

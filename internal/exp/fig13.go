@@ -1,10 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"encnvm/internal/config"
+	"encnvm/internal/core"
+	"encnvm/internal/runner"
 	"encnvm/internal/workloads"
 )
 
@@ -40,14 +43,34 @@ func Fig13(sc Scale, out io.Writer) (Fig13Result, error) {
 	tc := newTraceCache(scaled)
 	header(out, "Figure 13: throughput normalized to 1-core NoEncryption (higher is better)")
 
+	// One workload at a time — its trace set is dropped before the next
+	// builds, bounding peak memory at full scale — with the (design ×
+	// cores) grid plus the 1-core baseline fanned out within it.
+	type cell struct {
+		d config.Design
+		n int
+	}
 	for _, w := range workloads.All() {
 		// Build the largest trace set once; smaller core counts use its
 		// prefix, and the whole set is dropped when the workload ends.
 		tc.get(w, sc.Cores[len(sc.Cores)-1])
-		base, err := tc.run(config.NoEncryption, w, 1)
+		cells := []cell{{config.NoEncryption, 1}} // the normalization baseline
+		for _, d := range fig13Designs {
+			for _, n := range sc.Cores {
+				cells = append(cells, cell{d, n})
+			}
+		}
+		rs, err := runner.MapValues(context.Background(), cells,
+			func(_ context.Context, c cell) (core.Result, error) {
+				return tc.run(c.d, w, c.n)
+			},
+			sc.cellOpts(func(i int) string {
+				return fmt.Sprintf("fig13/%s/%v/%dc", w.Name(), cells[i].d, cells[i].n)
+			}))
 		if err != nil {
 			return res, err
 		}
+		base := rs[0]
 		res.Workloads = append(res.Workloads, w.Name())
 		res.Normalized[w.Name()] = make(map[config.Design]map[int]float64)
 
@@ -56,14 +79,11 @@ func Fig13(sc Scale, out io.Writer) (Fig13Result, error) {
 			fmt.Fprintf(out, " %8d", n)
 		}
 		fmt.Fprintln(out)
-		for _, d := range fig13Designs {
+		for di, d := range fig13Designs {
 			res.Normalized[w.Name()][d] = make(map[int]float64)
 			fmt.Fprintf(out, "%-24s", d)
-			for _, n := range sc.Cores {
-				r, err := tc.run(d, w, n)
-				if err != nil {
-					return res, err
-				}
+			for ni, n := range sc.Cores {
+				r := rs[1+di*len(sc.Cores)+ni]
 				norm := r.Throughput / base.Throughput
 				res.Normalized[w.Name()][d][n] = norm
 				fmt.Fprintf(out, " %8.2f", norm)

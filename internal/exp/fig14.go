@@ -18,10 +18,18 @@ type Fig14Result struct {
 }
 
 // Fig14 regenerates Figure 14: write traffic to NVMM normalized to the
-// no-encryption design for SCA, FCA and the two co-located designs.
+// no-encryption design for SCA, FCA and the two co-located designs. The
+// same fan-out grid as Fig12, measuring bytes written instead of runtime.
 func Fig14(sc Scale, out io.Writer) (Fig14Result, error) {
 	res := Fig14Result{Normalized: make(map[string]map[config.Design]float64), Average: make(map[config.Design]float64)}
 	tc := newTraceCache(sc)
+
+	designs := append([]config.Design{config.NoEncryption}, fig12Designs...)
+	ws := workloads.All()
+	rs, err := runDesignGrid(sc, tc, "fig14", ws, designs)
+	if err != nil {
+		return res, err
+	}
 
 	header(out, "Figure 14: NVM write traffic normalized to NoEncryption (lower is better)")
 	fmt.Fprintf(out, "%-12s", "workload")
@@ -31,26 +39,20 @@ func Fig14(sc Scale, out io.Writer) (Fig14Result, error) {
 	fmt.Fprintln(out)
 
 	perDesign := make(map[config.Design][]float64)
-	for _, w := range workloads.All() {
-		base, err := tc.run(config.NoEncryption, w, 1)
-		if err != nil {
-			return res, err
-		}
-		row := make(map[config.Design]float64)
+	for wi, w := range ws {
+		row := rs[wi*len(designs) : (wi+1)*len(designs)]
+		base := row[0]
+		norms := make(map[config.Design]float64)
 		fmt.Fprintf(out, "%-12s", w.Name())
-		for _, d := range fig12Designs {
-			r, err := tc.run(d, w, 1)
-			if err != nil {
-				return res, err
-			}
-			norm := float64(r.BytesWritten) / float64(base.BytesWritten)
-			row[d] = norm
+		for di, d := range fig12Designs {
+			norm := float64(row[di+1].BytesWritten) / float64(base.BytesWritten)
+			norms[d] = norm
 			perDesign[d] = append(perDesign[d], norm)
 			fmt.Fprintf(out, " %22.3f", norm)
 		}
 		fmt.Fprintln(out)
 		res.Workloads = append(res.Workloads, w.Name())
-		res.Normalized[w.Name()] = row
+		res.Normalized[w.Name()] = norms
 	}
 	fmt.Fprintf(out, "%-12s", "average")
 	for _, d := range fig12Designs {

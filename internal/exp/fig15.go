@@ -1,13 +1,16 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"encnvm/internal/config"
 	"encnvm/internal/core"
 	"encnvm/internal/crash"
+	"encnvm/internal/runner"
 	"encnvm/internal/stats"
+	"encnvm/internal/trace"
 	"encnvm/internal/workloads"
 )
 
@@ -30,24 +33,53 @@ func Fig15(sc Scale, out io.Writer) (Fig15Result, error) {
 	res := Fig15Result{FootprintItems: sc.Fig15Footprints, CacheSizes: sc.Fig15CacheSizes}
 	w := &workloads.ArraySwap{}
 
-	header(out, "Figure 15: SCA counter-cache size sensitivity (arrayswap)")
-	for _, items := range sc.Fig15Footprints {
-		p := sc.Params
-		p.Items = items
-		// Enough operations to touch a representative sample of the
-		// footprint during the measured phase.
-		p.Ops = max(p.Ops, items/64)
-		traces := crash.BuildTraces(w, p, 1)
+	// Stage 1: build each footprint's traces, concurrently — they are
+	// independent functional runs.
+	traceSets, err := runner.MapValues(context.Background(), sc.Fig15Footprints,
+		func(_ context.Context, items int) ([]*trace.Trace, error) {
+			p := sc.Params
+			p.Items = items
+			// Enough operations to touch a representative sample of the
+			// footprint during the measured phase.
+			p.Ops = max(p.Ops, items/64)
+			return crash.BuildTraces(w, p, 1), nil
+		},
+		sc.cellOpts(func(i int) string {
+			return fmt.Sprintf("fig15/build/%dKB", sc.Fig15Footprints[i]*8>>10)
+		}))
+	if err != nil {
+		return res, err
+	}
 
+	// Stage 2: the (footprint × cache size) grid over the shared
+	// read-only traces, one engine instance per cell.
+	type cell struct{ fi, ci int }
+	var cells []cell
+	for fi := range sc.Fig15Footprints {
+		for ci := range sc.Fig15CacheSizes {
+			cells = append(cells, cell{fi, ci})
+		}
+	}
+	rs, err := runner.MapValues(context.Background(), cells,
+		func(_ context.Context, c cell) (core.Result, error) {
+			cfg := config.Default(config.SCA).WithCounterCacheSize(sc.Fig15CacheSizes[c.ci])
+			return core.RunTraces(cfg, w.Name(), traceSets[c.fi])
+		},
+		sc.cellOpts(func(i int) string {
+			return fmt.Sprintf("fig15/%dKB/%dKB",
+				sc.Fig15Footprints[cells[i].fi]*8>>10, sc.Fig15CacheSizes[cells[i].ci]>>10)
+		}))
+	if err != nil {
+		return res, err
+	}
+
+	header(out, "Figure 15: SCA counter-cache size sensitivity (arrayswap)")
+	for fi, items := range sc.Fig15Footprints {
 		var speedups, misses []float64
 		var baseRuntime float64
 		fmt.Fprintf(out, "\nfootprint %6.1fMB:", float64(items)*8/(1<<20))
 		for i, size := range sc.Fig15CacheSizes {
-			cfg := config.Default(config.SCA).WithCounterCacheSize(size)
-			r, err := core.RunTraces(cfg, w.Name(), traces)
-			if err != nil {
-				return res, err
-			}
+			r := rs[fi*len(sc.Fig15CacheSizes)+i]
 			if i == 0 {
 				baseRuntime = float64(r.Runtime)
 			}

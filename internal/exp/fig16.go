@@ -1,12 +1,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"encnvm/internal/config"
 	"encnvm/internal/core"
 	"encnvm/internal/crash"
+	"encnvm/internal/runner"
 	"encnvm/internal/workloads"
 )
 
@@ -35,6 +37,47 @@ var linesPerOp = map[string]int{
 // toward a page.
 func Fig16(sc Scale, out io.Writer) (Fig16Result, error) {
 	res := Fig16Result{TxLines: sc.Fig16Lines, Overhead: make(map[string][]float64)}
+
+	// Each (workload, tx size) cell is fully self-contained: it builds
+	// its own traces (the transaction batching changes the trace itself)
+	// and runs the Ideal/SCA pair over them.
+	ws := workloads.All()
+	type cell struct {
+		w     workloads.Workload
+		lines int
+	}
+	var cells []cell
+	for _, w := range ws {
+		for _, lines := range sc.Fig16Lines {
+			cells = append(cells, cell{w, lines})
+		}
+	}
+	ratios, err := runner.MapValues(context.Background(), cells,
+		func(_ context.Context, c cell) (float64, error) {
+			p := sc.ParamsFor(c.w.Name())
+			p.OpsPerTx = max(1, c.lines/linesPerOp[c.w.Name()])
+			// Keep the number of transactions roughly constant so
+			// the commit-cost amortization is what varies.
+			p.Ops = p.OpsPerTx * max(16, sc.Params.Ops/8)
+			traces := crash.BuildTraces(c.w, p, 1)
+
+			ideal, err := core.RunTraces(config.Default(config.Ideal), c.w.Name(), traces)
+			if err != nil {
+				return 0, err
+			}
+			sca, err := core.RunTraces(config.Default(config.SCA), c.w.Name(), traces)
+			if err != nil {
+				return 0, err
+			}
+			return float64(sca.Runtime) / float64(ideal.Runtime), nil
+		},
+		sc.cellOpts(func(i int) string {
+			return fmt.Sprintf("fig16/%s/%dL", cells[i].w.Name(), cells[i].lines)
+		}))
+	if err != nil {
+		return res, err
+	}
+
 	header(out, "Figure 16: SCA runtime normalized to Ideal vs transaction size (lower is better)")
 	fmt.Fprintf(out, "%-12s", "workload")
 	for _, lines := range sc.Fig16Lines {
@@ -42,26 +85,11 @@ func Fig16(sc Scale, out io.Writer) (Fig16Result, error) {
 	}
 	fmt.Fprintln(out)
 
-	for _, w := range workloads.All() {
+	for wi, w := range ws {
 		res.Workloads = append(res.Workloads, w.Name())
 		fmt.Fprintf(out, "%-12s", w.Name())
-		for _, lines := range sc.Fig16Lines {
-			p := sc.ParamsFor(w.Name())
-			p.OpsPerTx = max(1, lines/linesPerOp[w.Name()])
-			// Keep the number of transactions roughly constant so
-			// the commit-cost amortization is what varies.
-			p.Ops = p.OpsPerTx * max(16, sc.Params.Ops/8)
-			traces := crash.BuildTraces(w, p, 1)
-
-			ideal, err := core.RunTraces(config.Default(config.Ideal), w.Name(), traces)
-			if err != nil {
-				return res, err
-			}
-			sca, err := core.RunTraces(config.Default(config.SCA), w.Name(), traces)
-			if err != nil {
-				return res, err
-			}
-			ratio := float64(sca.Runtime) / float64(ideal.Runtime)
+		for li := range sc.Fig16Lines {
+			ratio := ratios[wi*len(sc.Fig16Lines)+li]
 			res.Overhead[w.Name()] = append(res.Overhead[w.Name()], ratio)
 			fmt.Fprintf(out, " %8.3f", ratio)
 		}

@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"encnvm/internal/config"
 	"encnvm/internal/core"
+	"encnvm/internal/runner"
 	"encnvm/internal/workloads"
 )
 
@@ -38,24 +40,51 @@ func Fig17(sc Scale, out io.Writer) (Fig17Result, error) {
 	// think time; back-to-back write bursts saturate the write path and
 	// mask the read-side decryption effects the figure is about.
 	tc := newTraceCache(fig17Scale(sc))
+	ws := workloads.All()
+	tc.warm(sc, ws, 1)
 
-	run := func(readX, writeX float64) (float64, error) {
-		var ratios []float64
-		for _, w := range workloads.All() {
-			traces := tc.get(w, 1)
+	// The grid: {read, write} sweep × factor × workload, each cell a
+	// CoLocated/SCA runtime-ratio pair over the shared traces.
+	type cell struct {
+		readX, writeX float64
+		w             workloads.Workload
+	}
+	var cells []cell
+	for _, f := range sc.Fig17Factors {
+		for _, w := range ws {
+			cells = append(cells, cell{f, 1, w})
+		}
+	}
+	for _, f := range sc.Fig17Factors {
+		for _, w := range ws {
+			cells = append(cells, cell{1, f, w})
+		}
+	}
+	ratios, err := runner.MapValues(context.Background(), cells,
+		func(_ context.Context, c cell) (float64, error) {
+			traces := tc.get(c.w, 1)
 			colo, err := core.RunTraces(
-				config.Default(config.CoLocated).WithNVMLatencyScale(readX, writeX), w.Name(), traces)
+				config.Default(config.CoLocated).WithNVMLatencyScale(c.readX, c.writeX), c.w.Name(), traces)
 			if err != nil {
 				return 0, err
 			}
 			sca, err := core.RunTraces(
-				config.Default(config.SCA).WithNVMLatencyScale(readX, writeX), w.Name(), traces)
+				config.Default(config.SCA).WithNVMLatencyScale(c.readX, c.writeX), c.w.Name(), traces)
 			if err != nil {
 				return 0, err
 			}
-			ratios = append(ratios, float64(colo.Runtime)/float64(sca.Runtime))
-		}
-		return geomean(ratios), nil
+			return float64(colo.Runtime) / float64(sca.Runtime), nil
+		},
+		sc.cellOpts(func(i int) string {
+			return fmt.Sprintf("fig17/%s/r%gx-w%gx", cells[i].w.Name(), cells[i].readX, cells[i].writeX)
+		}))
+	if err != nil {
+		return res, err
+	}
+	// geomean per factor over the workload block of each sweep half.
+	sweep := func(half, fi int) float64 {
+		base := half*len(sc.Fig17Factors)*len(ws) + fi*len(ws)
+		return geomean(ratios[base : base+len(ws)])
 	}
 
 	header(out, "Figure 17: SCA speedup over Co-located vs NVM latency (geomean; >1 = SCA faster)")
@@ -64,20 +93,14 @@ func Fig17(sc Scale, out io.Writer) (Fig17Result, error) {
 		fmt.Fprintf(out, " %8.2gx", f)
 	}
 	fmt.Fprintf(out, "\n%-24s", "(a) read latency sweep")
-	for _, f := range sc.Fig17Factors {
-		s, err := run(f, 1)
-		if err != nil {
-			return res, err
-		}
+	for fi := range sc.Fig17Factors {
+		s := sweep(0, fi)
 		res.ReadSweep = append(res.ReadSweep, s)
 		fmt.Fprintf(out, " %9.3f", s)
 	}
 	fmt.Fprintf(out, "\n%-24s", "(b) write latency sweep")
-	for _, f := range sc.Fig17Factors {
-		s, err := run(1, f)
-		if err != nil {
-			return res, err
-		}
+	for fi := range sc.Fig17Factors {
+		s := sweep(1, fi)
 		res.WriteSweep = append(res.WriteSweep, s)
 		fmt.Fprintf(out, " %9.3f", s)
 	}

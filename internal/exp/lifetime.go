@@ -36,22 +36,20 @@ func Lifetime(sc Scale, out io.Writer) (LifetimeResult, error) {
 	}
 	tc := newTraceCache(sc)
 
+	// Fan out the (workload × {SCA, FCA, CoLocated}) grid; rows format
+	// from the ordered results below.
+	designs := []config.Design{config.SCA, config.FCA, config.CoLocated}
+	ws := workloads.All()
+	rs, err := runDesignGrid(sc, tc, "lifetime", ws, designs)
+	if err != nil {
+		return res, err
+	}
+
 	header(out, "§6.3.3: NVM lifetime under uniform wear leveling (gain of SCA)")
 	fmt.Fprintf(out, "%-12s %14s %18s %16s\n", "workload", "vs FCA", "vs Co-located", "hotspot factor")
 	var gainsF, gainsC []float64
-	for _, w := range workloads.All() {
-		sca, err := tc.run(config.SCA, w, 1)
-		if err != nil {
-			return res, err
-		}
-		fca, err := tc.run(config.FCA, w, 1)
-		if err != nil {
-			return res, err
-		}
-		colo, err := tc.run(config.CoLocated, w, 1)
-		if err != nil {
-			return res, err
-		}
+	for wi, w := range ws {
+		sca, fca, colo := rs[wi*3], rs[wi*3+1], rs[wi*3+2]
 		gf := float64(fca.BytesWritten)/float64(sca.BytesWritten) - 1
 		gc := float64(colo.BytesWritten)/float64(sca.BytesWritten) - 1
 		lines, total, hottest := sca.System.Dev.Wear()

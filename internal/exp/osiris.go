@@ -39,21 +39,18 @@ func Osiris(sc Scale, out io.Writer) (OsirisResult, error) {
 	}
 	tc := newTraceCache(sc)
 
+	// Fan out the (workload × {SCA, Ideal, Osiris}) performance grid.
+	designs := []config.Design{config.SCA, config.Ideal, config.Osiris}
+	ws := workloads.All()
+	rs, err := runDesignGrid(sc, tc, "osiris", ws, designs)
+	if err != nil {
+		return res, err
+	}
+
 	header(out, "Extension: Osiris-style ECC counter recovery (stop-loss window = 4)")
 	fmt.Fprintf(out, "%-12s %16s %16s\n", "workload", "vs SCA", "vs Ideal")
-	for _, w := range workloads.All() {
-		sca, err := tc.run(config.SCA, w, 1)
-		if err != nil {
-			return res, err
-		}
-		ideal, err := tc.run(config.Ideal, w, 1)
-		if err != nil {
-			return res, err
-		}
-		osi, err := tc.run(config.Osiris, w, 1)
-		if err != nil {
-			return res, err
-		}
+	for wi, w := range ws {
+		sca, ideal, osi := rs[wi*3], rs[wi*3+1], rs[wi*3+2]
 		vsSCA := float64(osi.Runtime) / float64(sca.Runtime)
 		vsIdeal := float64(osi.Runtime) / float64(ideal.Runtime)
 		res.Workloads = append(res.Workloads, w.Name())
@@ -62,14 +59,15 @@ func Osiris(sc Scale, out io.Writer) (OsirisResult, error) {
 		fmt.Fprintf(out, "%-12s %15.3fx %15.3fx\n", w.Name(), vsSCA, vsIdeal)
 	}
 
-	// Crash consistency with legacy (pre-paper) software.
+	// Crash consistency with legacy (pre-paper) software. The per-point
+	// injections inside each sweep fan out; the report order is fixed.
 	p := sc.Params
 	p.Items = min(p.Items, 128)
 	p.Ops = min(p.Ops, 32)
 	p.Legacy = true
 	var trials, lines int
 	for _, w := range workloads.All() {
-		rep, err := crash.Sweep(config.Default(config.Osiris), w, p, sc.CrashPoints)
+		rep, err := crash.SweepJ(config.Default(config.Osiris), w, p, sc.CrashPoints, sc.Jobs)
 		if err != nil {
 			return res, err
 		}

@@ -1,0 +1,42 @@
+package probe
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"encnvm/internal/runner"
+)
+
+// RunnerProgress returns a progress sink for runner fan-outs that
+// appends one JSON line per completed simulation cell to w.
+//
+// Unlike every other probe output, these records carry *wall-clock*
+// durations: they are operational telemetry about the experiment run
+// itself (how long each cell took on this machine, which cells failed),
+// not simulated results. They therefore belong on stderr or in a side
+// file; the figure stdout stays simulated-time-only. The runner
+// serializes sink calls, so no locking is needed here.
+func RunnerProgress(w io.Writer) func(runner.Progress) {
+	enc := json.NewEncoder(w)
+	return func(p runner.Progress) {
+		rec := struct {
+			Cell   string  `json:"cell"`
+			Index  int     `json:"index"`
+			Total  int     `json:"total"`
+			WallMS float64 `json:"wall_ms"`
+			Err    string  `json:"err,omitempty"`
+		}{
+			Cell:   p.Label,
+			Index:  p.Index,
+			Total:  p.Total,
+			WallMS: float64(p.Wall) / float64(time.Millisecond),
+		}
+		if p.Err != nil {
+			rec.Err = p.Err.Error()
+		}
+		// A progress write failure must not abort the fan-out; the cells'
+		// results are still collected and reported.
+		_ = enc.Encode(rec)
+	}
+}

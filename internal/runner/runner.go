@@ -1,0 +1,205 @@
+// Package runner fans independent simulation cells out over a worker
+// pool while keeping every observable output identical to the
+// sequential run.
+//
+// The repository's hot loops — figure grids in internal/exp, crash-point
+// sweeps in internal/crash, the mutant cross-validation suite — are all
+// embarrassingly parallel: each cell builds its own engine, controller
+// and device over read-only inputs (traces, configs), so cells share no
+// simulation state. What they are NOT is reorderable in their *output*:
+// figures must stay byte-identical across -j values, and a crash report
+// must list points in sweep order. Map therefore collects results in
+// submission order regardless of completion order, and callers format
+// rows only after the fan-out returns.
+//
+// Simulation instances are not goroutine-safe (see internal/nvm); the
+// contract here is that fn touches only state it creates itself plus
+// inputs that are immutable for the duration of the call. The -race CI
+// job runs the full figure suite and crash sweeps through this pool to
+// hold that contract.
+//
+// Wall-clock time appears in this package only as operational telemetry
+// (cell durations for progress sinks and timeouts); it never feeds
+// simulated state or stdout results.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Options configure one Map call.
+type Options struct {
+	// Workers is the parallelism degree (-j); <= 0 uses GOMAXPROCS.
+	// Workers == 1 degenerates to the sequential loop.
+	Workers int
+	// Timeout bounds each cell's wall-clock runtime; 0 means none. A
+	// cell that exceeds it yields an error result carrying its label;
+	// the cell's goroutine is abandoned (the simulator has no
+	// preemption points) but the pool itself moves on.
+	Timeout time.Duration
+	// Label names cell i in errors and progress records; nil labels
+	// cells "cell <i>".
+	Label func(i int) string
+	// OnDone, when non-nil, receives one Progress record per completed
+	// cell in completion (wall-clock) order. Calls are serialized, so
+	// the sink needs no locking of its own. Progress carries wall-clock
+	// durations and must only feed stderr or side files, never the
+	// simulated-time-only stdout results.
+	OnDone func(Progress)
+}
+
+// Progress describes one completed cell.
+type Progress struct {
+	Label string
+	Index int
+	Total int
+	Wall  time.Duration
+	Err   error
+}
+
+// Result is one cell's outcome. Map returns results in submission
+// order, so Result[i] always corresponds to jobs[i].
+type Result[R any] struct {
+	Label string
+	Value R
+	Err   error
+	Wall  time.Duration
+}
+
+// PanicError is the error result of a cell whose function panicked: the
+// pool converts panics into ordinary error results carrying the cell
+// label and stack, so one bad cell cannot kill a whole figure run.
+type PanicError struct {
+	Label string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: cell %s panicked: %v\n%s", e.Label, e.Value, e.Stack)
+}
+
+// Map runs fn over jobs on a pool of Workers goroutines and returns one
+// Result per job, in submission order. A cell that panics becomes a
+// PanicError result; a cell that outlives Options.Timeout or starts
+// after ctx is cancelled becomes a plain error result. Map itself never
+// fails and always returns len(jobs) results.
+func Map[T, R any](ctx context.Context, jobs []T, fn func(ctx context.Context, job T) (R, error), opts Options) []Result[R] {
+	n := len(jobs)
+	results := make([]Result[R], n)
+	if n == 0 {
+		return results
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	label := opts.Label
+	if label == nil {
+		label = func(i int) string { return fmt.Sprintf("cell %d", i) }
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var doneMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r := Result[R]{Label: label(i)}
+				start := time.Now()
+				if err := ctx.Err(); err != nil {
+					r.Err = fmt.Errorf("runner: cell %s not started: %w", r.Label, err)
+				} else {
+					r.Value, r.Err = runCell(ctx, jobs[i], fn, r.Label, opts.Timeout)
+				}
+				r.Wall = time.Since(start)
+				results[i] = r
+				if opts.OnDone != nil {
+					doneMu.Lock()
+					opts.OnDone(Progress{Label: r.Label, Index: i, Total: n, Wall: r.Wall, Err: r.Err})
+					doneMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// MapValues is Map for callers that only need the values: it unwraps
+// the results and returns the first error in submission order — the
+// same cell the sequential loop would have reported — with every value
+// before it filled in.
+func MapValues[T, R any](ctx context.Context, jobs []T, fn func(ctx context.Context, job T) (R, error), opts Options) ([]R, error) {
+	rs := Map(ctx, jobs, fn, opts)
+	out := make([]R, len(rs))
+	for i, r := range rs {
+		if r.Err != nil {
+			return out, r.Err
+		}
+		out[i] = r.Value
+	}
+	return out, nil
+}
+
+// runCell invokes one cell with panic capture and, when a deadline or
+// cancellable context is in play, a watchdog that lets the worker move
+// on from a cell that never returns.
+func runCell[T, R any](ctx context.Context, job T, fn func(ctx context.Context, job T) (R, error), label string, timeout time.Duration) (R, error) {
+	if timeout <= 0 && ctx.Done() == nil {
+		return call(ctx, job, fn, label)
+	}
+	cctx := ctx
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		cctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	defer cancel()
+	type outcome struct {
+		v   R
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		v, err := call(cctx, job, fn, label)
+		done <- outcome{v, err}
+	}()
+	// Prefer a completed cell over a concurrent cancellation: its result
+	// is already computed and deterministic.
+	select {
+	case o := <-done:
+		return o.v, o.err
+	default:
+	}
+	select {
+	case o := <-done:
+		return o.v, o.err
+	case <-cctx.Done():
+		var zero R
+		return zero, fmt.Errorf("runner: cell %s: %w", label, cctx.Err())
+	}
+}
+
+// call invokes fn, converting a panic into a PanicError.
+func call[T, R any](ctx context.Context, job T, fn func(ctx context.Context, job T) (R, error), label string) (v R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Label: label, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, job)
+}

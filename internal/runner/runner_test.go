@@ -1,0 +1,207 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Results must come back in submission order for every worker count,
+// including counts far above and below the job count.
+func TestMapSubmissionOrder(t *testing.T) {
+	jobs := make([]int, 100)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	for _, workers := range []int{0, 1, 3, 8, 200} {
+		rs := Map(context.Background(), jobs, func(_ context.Context, j int) (int, error) {
+			return j * j, nil
+		}, Options{Workers: workers})
+		if len(rs) != len(jobs) {
+			t.Fatalf("workers=%d: %d results for %d jobs", workers, len(rs), len(jobs))
+		}
+		for i, r := range rs {
+			if r.Err != nil || r.Value != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, %v", workers, i, r.Value, r.Err)
+			}
+		}
+	}
+}
+
+// Identical inputs must produce identical values regardless of the
+// worker count — the property every figure's byte-identity rests on.
+func TestMapDeterministicAcrossWorkers(t *testing.T) {
+	jobs := []int{5, 3, 9, 1, 7, 2, 8}
+	run := func(workers int) []int {
+		vals, err := MapValues(context.Background(), jobs, func(_ context.Context, j int) (int, error) {
+			return j * 1000, nil
+		}, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 4, 16} {
+		par := run(workers)
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d: value[%d] %d != sequential %d", workers, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+// A panicking cell must become an error result carrying the cell label
+// and a stack trace — not a dead process — and must not disturb its
+// neighbors.
+func TestMapPanicCapture(t *testing.T) {
+	jobs := []int{0, 1, 2, 3}
+	rs := Map(context.Background(), jobs, func(_ context.Context, j int) (int, error) {
+		if j == 2 {
+			panic("boom at cell 2")
+		}
+		return j, nil
+	}, Options{Workers: 4, Label: func(i int) string { return fmt.Sprintf("grid/%d", i) }})
+
+	for i, r := range rs {
+		if i == 2 {
+			var pe *PanicError
+			if !errors.As(r.Err, &pe) {
+				t.Fatalf("cell 2: error %v is not a PanicError", r.Err)
+			}
+			if pe.Label != "grid/2" || !strings.Contains(fmt.Sprint(pe.Value), "boom") {
+				t.Errorf("panic error lost label/value: %v / %v", pe.Label, pe.Value)
+			}
+			if !strings.Contains(r.Err.Error(), "goroutine") {
+				t.Error("panic error carries no stack trace")
+			}
+			continue
+		}
+		if r.Err != nil || r.Value != i {
+			t.Errorf("cell %d disturbed by neighbor panic: %d, %v", i, r.Value, r.Err)
+		}
+	}
+}
+
+// Panics must also be captured on the no-watchdog fast path (no timeout,
+// non-cancellable context) and on the watchdog path.
+func TestMapPanicCaptureWithTimeout(t *testing.T) {
+	rs := Map(context.Background(), []int{0}, func(_ context.Context, _ int) (int, error) {
+		panic("late boom")
+	}, Options{Timeout: time.Minute})
+	var pe *PanicError
+	if !errors.As(rs[0].Err, &pe) {
+		t.Fatalf("watchdog path: %v is not a PanicError", rs[0].Err)
+	}
+}
+
+// A cell exceeding the per-cell timeout yields an error result with the
+// cell label; other cells complete normally.
+func TestMapCellTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	rs := Map(context.Background(), []int{0, 1}, func(_ context.Context, j int) (int, error) {
+		if j == 0 {
+			<-block // never returns within the timeout
+		}
+		return j, nil
+	}, Options{Workers: 2, Timeout: 20 * time.Millisecond,
+		Label: func(i int) string { return fmt.Sprintf("slow/%d", i) }})
+
+	if rs[0].Err == nil || !errors.Is(rs[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("stuck cell error = %v, want deadline exceeded", rs[0].Err)
+	}
+	if !strings.Contains(rs[0].Err.Error(), "slow/0") {
+		t.Errorf("timeout error %v does not name the cell", rs[0].Err)
+	}
+	if rs[1].Err != nil || rs[1].Value != 1 {
+		t.Errorf("healthy cell affected: %d, %v", rs[1].Value, rs[1].Err)
+	}
+}
+
+// Cancelling the context stops unstarted cells; their results carry the
+// cancellation cause.
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	rs := Map(ctx, make([]struct{}, 50), func(_ context.Context, _ struct{}) (int, error) {
+		if started.Add(1) == 1 {
+			cancel()
+		}
+		return 7, nil
+	}, Options{Workers: 1})
+
+	var cancelled int
+	for _, r := range rs {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	// The cancelling cell itself may race its own completion against the
+	// watchdog; every cell after it must be cancelled unstarted.
+	if cancelled < len(rs)-int(started.Load()) {
+		t.Errorf("started %d, cancelled %d of %d cells; expected the rest cancelled",
+			started.Load(), cancelled, len(rs))
+	}
+}
+
+// MapValues reports the first error in submission order — the same cell
+// the sequential loop would have reported — not the first to complete.
+func TestMapValuesFirstErrorInOrder(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	jobs := []int{0, 1, 2, 3}
+	for trial := 0; trial < 20; trial++ {
+		_, err := MapValues(context.Background(), jobs, func(_ context.Context, j int) (int, error) {
+			switch j {
+			case 1:
+				time.Sleep(time.Millisecond) // finish after cell 3's error
+				return 0, errA
+			case 3:
+				return 0, errB
+			}
+			return j, nil
+		}, Options{Workers: 4})
+		if err != errA {
+			t.Fatalf("trial %d: first error = %v, want %v (submission order)", trial, err, errA)
+		}
+	}
+}
+
+// The progress sink sees every cell exactly once, serialized.
+func TestMapProgressSink(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]Progress{}
+	jobs := make([]int, 30)
+	Map(context.Background(), jobs, func(_ context.Context, _ int) (int, error) {
+		return 0, nil
+	}, Options{Workers: 4, OnDone: func(p Progress) {
+		// OnDone calls are serialized by the pool; the mutex here only
+		// pairs the test's own reads with the writes.
+		mu.Lock()
+		seen[p.Index] = p
+		mu.Unlock()
+	}})
+	if len(seen) != len(jobs) {
+		t.Fatalf("sink saw %d cells, want %d", len(seen), len(jobs))
+	}
+	for i, p := range seen {
+		if p.Total != len(jobs) || p.Index != i {
+			t.Fatalf("bad progress record %+v", p)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	rs := Map(context.Background(), nil, func(_ context.Context, _ struct{}) (int, error) {
+		return 0, nil
+	}, Options{})
+	if len(rs) != 0 {
+		t.Fatalf("%d results for no jobs", len(rs))
+	}
+}
