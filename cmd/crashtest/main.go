@@ -5,6 +5,7 @@
 // Usage:
 //
 //	crashtest [-design sca] [-workload all] [-points 32] [-legacy] [-cores 1] [-j N]
+//	crashtest -spec machine.json [-workload all] ...
 //	crashtest -schedule counterexample.json
 //
 // Crash points are independent injections (each builds its own engine
@@ -32,24 +33,15 @@ import (
 
 	"encnvm/internal/check"
 	"encnvm/internal/check/verify"
-	"encnvm/internal/config"
 	"encnvm/internal/crash"
+	"encnvm/internal/machine"
 	"encnvm/internal/persist"
 	"encnvm/internal/workloads"
 )
 
-var designByName = map[string]config.Design{
-	"noenc":       config.NoEncryption,
-	"ideal":       config.Ideal,
-	"colocated":   config.CoLocated,
-	"colocatedcc": config.CoLocatedCC,
-	"fca":         config.FCA,
-	"sca":         config.SCA,
-	"osiris":      config.Osiris,
-}
-
 func main() {
-	design := flag.String("design", "sca", "design: noenc|ideal|colocated|colocatedcc|fca|sca|osiris")
+	design := flag.String("design", "sca", "registered machine: "+strings.Join(machine.Names(), "|"))
+	specPath := flag.String("spec", "", "load a declarative machine spec from this JSON file (overrides -design/-cores)")
 	workload := flag.String("workload", "all", "workload or 'all': "+strings.Join(append(workloads.Names(), "linkedlist"), "|"))
 	points := flag.Int("points", 32, "crash points per sweep")
 	legacy := flag.Bool("legacy", false, "use pre-paper (legacy) persistency primitives")
@@ -65,10 +57,28 @@ func main() {
 		os.Exit(replaySchedule(*schedule))
 	}
 
-	d, ok := designByName[*design]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
-		os.Exit(2)
+	var spec *machine.Spec
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		spec, err = machine.DecodeSpec(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		var err error
+		spec, err = machine.ByName(*design)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unknown design %q (valid: %s)\n",
+				*design, strings.Join(machine.Names(), "|"))
+			os.Exit(2)
+		}
+		spec.Cores = *cores
 	}
 	var targets []workloads.Workload
 	if *workload == "all" {
@@ -83,10 +93,9 @@ func main() {
 	}
 
 	p := workloads.Params{Seed: *seed, Items: *items, Ops: *ops, Legacy: *legacy}
-	cfg := config.Default(d).WithCores(*cores)
 	anyFail := false
 	for _, w := range targets {
-		rep, err := crash.SweepJ(cfg, w, p, *points, *jobs)
+		rep, err := crash.SweepSpecJ(spec, w, p, *points, *jobs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

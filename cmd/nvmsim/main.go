@@ -9,6 +9,13 @@
 //	       [-opspertx N] [-seed N] [-verify] [-stats] [-json]
 //	       [-trace-out run.trace.json] [-metrics-out run.metrics.jsonl]
 //	       [-metrics-window-ns 1000] [-manifest-out run.manifest.json]
+//	nvmsim -spec machine.json [-workload btree] ...
+//	nvmsim [-design sca | -spec machine.json] -dump-spec
+//
+// -design names a registered machine spec (the seven paper designs are
+// built in); -spec loads a declarative machine spec from a JSON file
+// instead. -dump-spec prints the fully resolved spec for the selected
+// machine and exits — its output round-trips through -spec.
 package main
 
 import (
@@ -18,26 +25,38 @@ import (
 	"os"
 	"strings"
 
-	"encnvm/internal/config"
 	"encnvm/internal/core"
+	"encnvm/internal/machine"
 	"encnvm/internal/probe"
 	"encnvm/internal/sim"
 	"encnvm/internal/workloads"
 )
 
-// designByName maps CLI names to designs.
-var designByName = map[string]config.Design{
-	"noenc":       config.NoEncryption,
-	"ideal":       config.Ideal,
-	"colocated":   config.CoLocated,
-	"colocatedcc": config.CoLocatedCC,
-	"fca":         config.FCA,
-	"sca":         config.SCA,
-	"osiris":      config.Osiris,
+// loadSpec resolves the machine spec the flags select: a JSON file when
+// -spec is given, else the registered spec named by -design with the
+// -cores override applied.
+func loadSpec(specPath, design string, cores int) (*machine.Spec, error) {
+	if specPath != "" {
+		f, err := os.Open(specPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return machine.DecodeSpec(f)
+	}
+	spec, err := machine.ByName(design)
+	if err != nil {
+		return nil, fmt.Errorf("unknown design %q (valid: %s)", design,
+			strings.Join(machine.Names(), "|"))
+	}
+	spec.Cores = cores
+	return spec, nil
 }
 
 func main() {
-	design := flag.String("design", "sca", "design: noenc|ideal|colocated|colocatedcc|fca|sca|osiris")
+	design := flag.String("design", "sca", "registered machine: "+strings.Join(machine.Names(), "|"))
+	specPath := flag.String("spec", "", "load a declarative machine spec from this JSON file (overrides -design/-cores)")
+	dumpSpec := flag.Bool("dump-spec", false, "print the resolved machine spec as JSON and exit")
 	workload := flag.String("workload", "btree", "workload: "+strings.Join(workloads.ExtendedNames(), "|"))
 	cores := flag.Int("cores", 1, "number of cores")
 	items := flag.Int("items", 4096, "initial structure population")
@@ -53,10 +72,21 @@ func main() {
 	manifestOut := flag.String("manifest-out", "", "write the machine-readable run manifest to this file")
 	flag.Parse()
 
-	d, ok := designByName[*design]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown design %q (valid: noenc|ideal|colocated|colocatedcc|fca|sca|osiris)\n", *design)
+	spec, err := loadSpec(*specPath, *design, *cores)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *dumpSpec {
+		resolved, err := spec.Resolved()
+		if err == nil {
+			err = resolved.Encode(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	if _, err := workloads.ByName(*workload); err != nil {
 		fmt.Fprintf(os.Stderr, "unknown workload %q (valid: %s)\n",
@@ -89,9 +119,8 @@ func main() {
 		Seed: *seed, Items: *items, Ops: *ops, OpsPerTx: *opsPerTx,
 	}
 	res, err := core.RunWorkload(core.Options{
-		Design:   d,
+		Spec:     spec,
 		Workload: *workload,
-		Cores:    *cores,
 		Params:   params,
 		Probe:    pb,
 	})

@@ -20,7 +20,12 @@
 //
 //	persistcheck [-tests] [-list] [-analyzers names] [dir ...]
 //	persistcheck -verify [-items N] [-ops N] [-opspertx N] [-seed N]
-//	             [-cex-dir dir]
+//	             [-cex-dir dir] [-spec machine.json]
+//
+// With -spec, the named declarative machine spec is decoded, validated,
+// and resolved to a full configuration before verification runs — a
+// malformed spec fails fast with exit 2, so CI can gate custom machine
+// definitions alongside the trace proofs.
 //
 // Each directory argument is checked recursively ("./..." is accepted as
 // a synonym for "."); with no arguments the current directory tree is
@@ -40,6 +45,7 @@ import (
 	"encnvm/internal/check/analyzers"
 	"encnvm/internal/check/verify"
 	"encnvm/internal/crash"
+	"encnvm/internal/machine"
 	"encnvm/internal/persist"
 	"encnvm/internal/workloads"
 )
@@ -62,6 +68,7 @@ func main() {
 	opsPerTx := flag.Int("opspertx", 4, "verify: operations per transaction")
 	seed := flag.Int64("seed", 7, "verify: workload RNG seed")
 	cexDir := flag.String("cex-dir", "", "verify: write counterexample schedules to this directory")
+	specPath := flag.String("spec", "", "verify: validate this machine-spec JSON file and resolve its configuration first")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -72,9 +79,19 @@ func main() {
 		return
 	}
 	if *doVerify {
+		if *specPath != "" {
+			if err := checkSpec(*specPath); err != nil {
+				fmt.Fprintf(os.Stderr, "persistcheck: %v\n", err)
+				os.Exit(2)
+			}
+		}
 		os.Exit(runVerify(workloads.Params{
 			Seed: *seed, Items: *items, Ops: *ops, OpsPerTx: *opsPerTx,
 		}, *cexDir))
+	}
+	if *specPath != "" {
+		fmt.Fprintln(os.Stderr, "persistcheck: -spec requires -verify")
+		os.Exit(2)
 	}
 
 	as, err := analyzers.ByName(*names)
@@ -113,6 +130,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "persistcheck: %d finding(s)\n", findings)
 		os.Exit(1)
 	}
+}
+
+// checkSpec decodes, validates, and fully resolves a machine-spec file,
+// confirming it describes a buildable machine before verification runs.
+func checkSpec(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spec, err := machine.DecodeSpec(f)
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	r, err := spec.Resolved()
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	fmt.Printf("machine spec %s: engine %s, backend %s, %d core(s), design %v — OK\n",
+		path, r.Engine, r.Backend, cfg.NumCores, cfg.Design)
+	return nil
 }
 
 // runVerify statically verifies every built-in workload trace in both

@@ -128,7 +128,7 @@ func main() {
 		}
 		t := sys2.RunUntil(end * frac / 10)
 		sys2.MC.DrainADR(t)
-		space := crash.DecryptImage(cfg, sys2.MC.Layout(), sys2.MC.Encryption(),
+		space := crash.DecryptImage(sys2.MC.Layout(), sys2.MC.Encryption(),
 			sys2.Dev.Image().SnapshotAt(t))
 		rep := persist.Recover(space, arena)
 		if err := audit(space, arena.HeapBase(), arena.HeapBase()); err != nil {

@@ -80,7 +80,7 @@ func crashAndRecover(d config.Design, rt *persist.Runtime, at sim.Time) (*mem.Sp
 	t := sys.RunUntil(at)
 	sys.MC.DrainADR(t)
 	snap := sys.Dev.Image().SnapshotAt(t)
-	return crash.DecryptImage(cfg, sys.MC.Layout(), sys.MC.Encryption(), snap), t
+	return crash.DecryptImage(sys.MC.Layout(), sys.MC.Encryption(), snap), t
 }
 
 func main() {

@@ -26,6 +26,11 @@ func TestDesignPredicates(t *testing.T) {
 		{CoLocatedCC, true, true, true, false},
 		{FCA, true, true, false, true},
 		{SCA, true, true, false, true},
+		{Osiris, true, true, false, true},
+		// An out-of-range value is not a real design: Encrypted() is
+		// true only because NoEncryption is the sole plaintext value,
+		// and every membership-style predicate reports false.
+		{Design(99), true, false, false, false},
 	}
 	for _, c := range cases {
 		if c.d.Encrypted() != c.enc {

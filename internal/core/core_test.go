@@ -5,6 +5,7 @@ import (
 
 	"encnvm/internal/config"
 	"encnvm/internal/crash"
+	"encnvm/internal/machine"
 	"encnvm/internal/mem"
 	"encnvm/internal/persist"
 	"encnvm/internal/workloads"
@@ -97,6 +98,71 @@ func TestConfigOverride(t *testing.T) {
 	}
 	if res.Design != config.SCA {
 		t.Fatalf("design = %v", res.Design)
+	}
+}
+
+// A Design or Cores that contradicts an explicit Config used to be
+// silently ignored; the run would quietly use the Config's values. Both
+// mismatches must now be rejected, while matching (or zero) values next
+// to a Config stay accepted.
+func TestConfigOverrideContradictions(t *testing.T) {
+	cfg := config.Default(config.SCA).WithCores(2)
+	cases := []struct {
+		name   string
+		opts   Options
+		wantOK bool
+	}{
+		{"design mismatch", Options{Workload: "arrayswap", Params: tiny, Config: cfg, Design: config.Osiris}, false},
+		{"cores mismatch", Options{Workload: "arrayswap", Params: tiny, Config: cfg, Cores: 4}, false},
+		{"design and cores match", Options{Workload: "arrayswap", Params: tiny, Config: cfg, Design: config.SCA, Cores: 2}, true},
+		{"both zero", Options{Workload: "arrayswap", Params: tiny, Config: cfg}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			res, err := RunWorkload(c.opts)
+			if c.wantOK {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Design != config.SCA || res.Cores != 2 {
+					t.Fatalf("ran %v/%d cores, want SCA/2", res.Design, res.Cores)
+				}
+			} else if err == nil {
+				t.Fatal("contradictory Options accepted")
+			}
+		})
+	}
+}
+
+// Spec is a third, mutually exclusive machine source: combining it with
+// Config or a nonzero Design/Cores pair is an error, and on its own it
+// must drive the run end to end.
+func TestSpecOption(t *testing.T) {
+	spec, err := machine.ByName("sca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWorkload(Options{Workload: "arrayswap", Params: tiny, Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Design != config.SCA || res.Transactions != 12 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if err := VerifyResult(res); err != nil {
+		t.Fatalf("end-to-end verification: %v", err)
+	}
+	if _, err := RunWorkload(Options{Workload: "arrayswap", Params: tiny,
+		Spec: spec, Config: config.Default(config.SCA)}); err == nil {
+		t.Fatal("Spec+Config accepted")
+	}
+	if _, err := RunWorkload(Options{Workload: "arrayswap", Params: tiny,
+		Spec: spec, Design: config.Osiris}); err == nil {
+		t.Fatal("Spec+Design accepted")
+	}
+	if _, err := RunWorkload(Options{Workload: "arrayswap", Params: tiny,
+		Spec: spec, Cores: 2}); err == nil {
+		t.Fatal("Spec+Cores accepted")
 	}
 }
 

@@ -16,11 +16,35 @@ import (
 func BuildManifest(res Result, p workloads.Params) *probe.Manifest {
 	sys := res.System
 	cfg := sys.Cfg
+	var ms *probe.ManifestSpec
+	if s := sys.Spec; s != nil {
+		if r, err := s.Resolved(); err == nil {
+			ms = &probe.ManifestSpec{
+				Name:              r.Name,
+				Engine:            r.Engine,
+				Backend:           r.Backend,
+				Cores:             r.Cores,
+				L1Bytes:           r.L1Bytes,
+				L2Bytes:           r.L2Bytes,
+				CounterCacheBytes: r.CounterCacheBytes,
+				ReadQueueEntries:  r.ReadQueueEntries,
+				DataWriteQueue:    r.DataWriteQueue,
+				CounterWriteQueue: r.CounterWriteQueue,
+				Banks:             r.Banks,
+				MemoryBytes:       r.MemoryBytes,
+				CryptoLatencyPs:   r.CryptoLatencyPs,
+				StopLoss:          r.StopLoss,
+				ReadLatencyX:      r.ReadLatencyX,
+				WriteLatencyX:     r.WriteLatencyX,
+			}
+		}
+	}
 	m := &probe.Manifest{
 		Schema:   probe.ManifestSchema,
 		Design:   res.Design.String(),
 		Workload: res.Workload,
 		Cores:    res.Cores,
+		Machine:  ms,
 		Params: probe.ManifestParams{
 			Seed:          p.Seed,
 			Items:         p.Items,

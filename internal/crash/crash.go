@@ -22,6 +22,7 @@ import (
 
 	"encnvm/internal/config"
 	"encnvm/internal/ctrenc"
+	"encnvm/internal/machine"
 	"encnvm/internal/mem"
 	"encnvm/internal/persist"
 	"encnvm/internal/replay"
@@ -91,8 +92,9 @@ func BuildTraces(w workloads.Workload, p workloads.Params, cores int) []*trace.T
 // DecryptImage reconstructs the plaintext view of a post-crash NVM
 // snapshot, decrypting every data line with the counter present in the
 // snapshot's counter region — stale or missing counters yield garbage,
-// exactly as on real hardware.
-func DecryptImage(cfg *config.Config, lay mem.Layout, enc *ctrenc.Engine,
+// exactly as on real hardware. A nil encryption engine (plaintext design)
+// copies lines verbatim.
+func DecryptImage(lay mem.Layout, enc *ctrenc.Engine,
 	snapshot map[mem.Addr]mem.Line) *mem.Space {
 
 	space := mem.NewSpace()
@@ -100,7 +102,7 @@ func DecryptImage(cfg *config.Config, lay mem.Layout, enc *ctrenc.Engine,
 		if !lay.IsData(addr) {
 			continue
 		}
-		if !cfg.Design.Encrypted() {
+		if enc == nil {
 			space.WriteLine(addr, ct)
 			continue
 		}
@@ -113,64 +115,16 @@ func DecryptImage(cfg *config.Config, lay mem.Layout, enc *ctrenc.Engine,
 	return space
 }
 
-// decryptOsiris reconstructs the plaintext view the way Osiris-style
-// firmware would: for each data line, try the counter stored in NVM plus
-// up to StopLoss increments, accepting the first candidate whose decrypted
-// plaintext matches the line's persisted ECC checksum. The stop-loss write
-// rule guarantees the true counter lies within the window; a line whose
-// window exhausts without a match stays garbled (and fails validation).
-func decryptOsiris(cfg *config.Config, lay mem.Layout, enc *ctrenc.Engine,
-	writes map[mem.Addr]mem.Write) (*mem.Space, RecoveryCost) {
-
-	space := mem.NewSpace()
-	var cost RecoveryCost
-	for addr, w := range writes {
-		if !lay.IsData(addr) {
-			continue
-		}
-		cost.Lines++
-		var base uint64
-		if cl, ok := writes[lay.CounterLine(addr)]; ok {
-			base = ctrenc.UnpackCounterLine(cl.Data)[lay.CounterSlot(addr)]
-		}
-		recovered := false
-		for c := base; c <= base+uint64(cfg.StopLoss); c++ {
-			cost.Trials++
-			plain := enc.Decrypt(w.Data, addr, c)
-			if ctrenc.Checksum(plain, addr) == w.Sum {
-				space.WriteLine(addr, plain)
-				recovered = true
-				if c != base {
-					cost.Recovered++
-				}
-				break
-			}
-		}
-		if !recovered {
-			cost.Unrecovered++
-			space.WriteLine(addr, enc.Decrypt(w.Data, addr, base))
-		}
-	}
-	return space, cost
-}
-
-// RecoveryCost quantifies Osiris-style recovery work — the dimension the
-// Anubis follow-on optimizes. Trials counts candidate decryptions (each a
-// full-line AES operation); Recovered counts lines whose counter was stale
-// in NVM and had to be searched for; Unrecovered counts lines whose window
-// exhausted (which then fail validation).
-type RecoveryCost struct {
-	Lines       int
-	Trials      int
-	Recovered   int
-	Unrecovered int
-}
+// RecoveryCost quantifies a metadata engine's recovery work — nonzero
+// only for checksum-recovery engines (Osiris), whose candidate-search
+// cost is the dimension the Anubis follow-on optimizes.
+type RecoveryCost = machine.RecoveryCost
 
 // decryptOracle decrypts a post-crash snapshot using the ground-truth
 // counter recorded with each write — what the firmware would see if data
 // and counter had been perfectly atomic. The harness compares real
 // recovery against it to detect silent total loss.
-func decryptOracle(cfg *config.Config, lay mem.Layout, enc *ctrenc.Engine,
+func decryptOracle(lay mem.Layout, enc *ctrenc.Engine,
 	writes map[mem.Addr]mem.Write) *mem.Space {
 
 	space := mem.NewSpace()
@@ -178,7 +132,7 @@ func decryptOracle(cfg *config.Config, lay mem.Layout, enc *ctrenc.Engine,
 		if !lay.IsData(addr) {
 			continue
 		}
-		if !cfg.Design.Encrypted() {
+		if enc == nil {
 			space.WriteLine(addr, w.Data)
 			continue
 		}
@@ -196,6 +150,27 @@ func InjectAt(cfg *config.Config, w workloads.Workload, traces []*trace.Trace,
 	if err != nil {
 		return Result{}, err
 	}
+	return injectSys(sys, w, traces, at)
+}
+
+// InjectSpecAt is InjectAt for a declarative machine spec — the path that
+// reaches custom engines, sizings, and non-PCM backends.
+func InjectSpecAt(spec *machine.Spec, w workloads.Workload, traces []*trace.Trace,
+	at sim.Time) (Result, error) {
+
+	sys, err := replay.NewSpec(spec, traces)
+	if err != nil {
+		return Result{}, err
+	}
+	return injectSys(sys, w, traces, at)
+}
+
+// injectSys crashes an unstarted system at the given instant and runs the
+// design's recovery — delegated to the machine's metadata engine — plus
+// validation for every core's arena.
+func injectSys(sys *replay.System, w workloads.Workload, traces []*trace.Trace,
+	at sim.Time) (Result, error) {
+
 	t := sys.RunUntil(at)
 	sys.MC.DrainADR(t)
 
@@ -204,17 +179,9 @@ func InjectAt(cfg *config.Config, w workloads.Workload, traces []*trace.Trace,
 		LostCounterLines: len(sys.MC.DirtyCounterLines()),
 	}
 	writes := sys.Dev.Image().SnapshotWritesAt(t)
-	snapshot := make(map[mem.Addr]mem.Line, len(writes))
-	for a, wr := range writes {
-		snapshot[a] = wr.Data
-	}
 	var space *mem.Space
-	if cfg.Design == config.Osiris {
-		space, res.Osiris = decryptOsiris(cfg, sys.MC.Layout(), sys.MC.Encryption(), writes)
-	} else {
-		space = DecryptImage(cfg, sys.MC.Layout(), sys.MC.Encryption(), snapshot)
-	}
-	oracle := decryptOracle(cfg, sys.MC.Layout(), sys.MC.Encryption(), writes)
+	space, res.Osiris = sys.Meta.Recover(sys.Cfg, sys.MC.Layout(), sys.MC.Encryption(), writes)
+	oracle := decryptOracle(sys.MC.Layout(), sys.MC.Encryption(), writes)
 
 	for i := range traces {
 		arena := persist.ArenaFor(i, DefaultArena)
@@ -294,6 +261,51 @@ func SweepJ(cfg *config.Config, w workloads.Workload, p workloads.Params, n, wor
 		if r.Err != nil {
 			// Match the sequential contract: the report carries the
 			// results before the first failing point, plus its error.
+			return rep, r.Err
+		}
+		rep.Results = append(rep.Results, r.Value)
+	}
+	return rep, nil
+}
+
+// SweepSpecJ is SweepJ over a declarative machine spec, so custom
+// machines (non-default sizing, the DRAM backend, future engines) run
+// through the crash harness unchanged. Each crash point builds its own
+// system from the spec, which is read-only throughout.
+func SweepSpecJ(spec *machine.Spec, w workloads.Workload, p workloads.Params,
+	n, workers int) (Report, error) {
+
+	cfg, err := spec.Config()
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Design: cfg.Design, Workload: w.Name()}
+	traces := BuildTraces(w, p, cfg.NumCores)
+
+	probe, err := replay.NewSpec(spec, traces)
+	if err != nil {
+		return rep, err
+	}
+	end := probe.Run()
+	if end == 0 {
+		return rep, fmt.Errorf("crash: empty run")
+	}
+
+	points := make([]sim.Time, 0, n+1)
+	for i := 0; i < n; i++ {
+		points = append(points, sim.Time(uint64(end)*uint64(i)/uint64(n)))
+	}
+	points = append(points, end)
+
+	rs := runner.Map(context.Background(), points,
+		func(_ context.Context, at sim.Time) (Result, error) {
+			return InjectSpecAt(spec, w, traces, at)
+		},
+		runner.Options{Workers: workers, Label: func(i int) string {
+			return fmt.Sprintf("sweep/%s/%s/point%d", spec.Name, w.Name(), i)
+		}})
+	for _, r := range rs {
+		if r.Err != nil {
 			return rep, r.Err
 		}
 		rep.Results = append(rep.Results, r.Value)

@@ -6,11 +6,9 @@ import (
 
 	"encnvm/internal/config"
 	"encnvm/internal/crash"
+	"encnvm/internal/machine"
 	"encnvm/internal/mem"
-	"encnvm/internal/memctrl"
-	"encnvm/internal/nvm"
 	"encnvm/internal/sim"
-	"encnvm/internal/stats"
 	"encnvm/internal/workloads"
 )
 
@@ -108,10 +106,11 @@ func Fig8(out io.Writer) (Fig8Result, error) {
 	run := func(d config.Design) (sim.Time, error) {
 		cfg := config.Default(d)
 		cfg.CounterWriteQueue = 4 // make the pairing pressure visible
-		eng := sim.New()
-		st := stats.New()
-		dev := nvm.New(eng, cfg, st)
-		mc := memctrl.New(eng, cfg, dev, st)
+		m, err := machine.FromConfig(cfg)
+		if err != nil {
+			return 0, err
+		}
+		eng, mc := m.Eng, m.MC
 		var doneAt sim.Time
 		eng.Schedule(0, func() {
 			var line mem.Line

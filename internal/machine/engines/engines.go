@@ -1,0 +1,290 @@
+// Package engines defines the MetadataEngine interface — the pluggable
+// policy seam of the machine architecture — and its seven concrete
+// implementations, one per evaluated memory-system design.
+//
+// A MetadataEngine answers every question the memory controller and the
+// crash harness used to settle by branching on config.Design: where
+// encryption counters live (co-located with the data, or in a separate
+// counter region behind a counter cache), when a write must be
+// counter-atomic, whether write acceptance is strict FIFO, whether
+// counter_cache_writeback() produces traffic and blocks persist barriers,
+// and how post-crash recovery reconstructs plaintext from whatever landed
+// in NVM. New designs (integrity-tree metadata, SecPM-style write
+// reduction) become new implementations of this interface registered as
+// machine specs — no controller edits required.
+//
+// The package is a leaf: it imports only the functional model (config,
+// mem, ctrenc), never the controller, so both internal/memctrl and
+// in-package controller tests can depend on it without cycles.
+// internal/machine re-exports the interface as machine.MetadataEngine.
+package engines
+
+import (
+	"fmt"
+	"sort"
+
+	"encnvm/internal/config"
+	"encnvm/internal/ctrenc"
+	"encnvm/internal/mem"
+)
+
+// Engine is the metadata-engine interface (re-exported as
+// machine.MetadataEngine). Implementations are stateless policy objects:
+// the controller owns all queues, caches and per-line state, and consults
+// the engine for every decision that varies across designs.
+type Engine interface {
+	// Name is the registry/spec name ("sca", "fca", ...).
+	Name() string
+	// Design is the config.Design enum value this engine implements —
+	// the enum is presentation sugar over the engine registry.
+	Design() config.Design
+
+	// Encrypted reports whether writes are counter-mode encrypted.
+	Encrypted() bool
+	// UsesCounterCache reports whether counters are cached on chip.
+	UsesCounterCache() bool
+	// CoLocatesCounters reports whether the 8B counter travels with its
+	// 64B data line as one widened 72B access.
+	CoLocatesCounters() bool
+	// SeparateCounterWrites reports whether counters are written back to
+	// a separate counter region with their own accesses.
+	SeparateCounterWrites() bool
+
+	// FIFOAcceptance reports whether write acceptance is strictly FIFO
+	// (FCA): a blocked counter-atomic write stalls every younger write.
+	FIFOAcceptance() bool
+	// PairsEveryWrite reports whether each counter-atomic data write is
+	// paired with its own non-coalescing counter-line write (FCA's
+	// indivisible pair, which doubles its write traffic).
+	PairsEveryWrite() bool
+	// WriteIsCounterAtomic decides the final counter-atomicity of a data
+	// write given its software annotation.
+	WriteIsCounterAtomic(annotated bool) bool
+
+	// CounterWritebackEmits reports whether counter_cache_writeback()
+	// produces a counter write at all (false when counters co-locate
+	// with data, are absent, or are recovered from checksums).
+	CounterWritebackEmits() bool
+	// CounterWritebackBlocks reports whether the primitive's acceptance
+	// callback must wait for the counter write to enter the ADR domain.
+	// The Ideal design pays the traffic but never the ordering — which
+	// is exactly why it is not crash consistent.
+	CounterWritebackBlocks() bool
+
+	// StopLossLimit returns the Osiris stop-loss bound: after this many
+	// rewrites a line's counter must head to NVM. Negative disables the
+	// rule entirely (0 writes the counter back with every data write).
+	StopLossLimit(cfg *config.Config) int
+
+	// Recover reconstructs the plaintext view of a post-crash NVM image
+	// the way this design's firmware would, from the completed device
+	// writes. The cost is zero for every engine but Osiris, whose
+	// checksum-guided candidate search is the quantity the Anubis
+	// follow-on optimizes.
+	Recover(cfg *config.Config, lay mem.Layout, enc *ctrenc.Engine,
+		writes map[mem.Addr]mem.Write) (*mem.Space, RecoveryCost)
+}
+
+// RecoveryCost quantifies recovery work. Trials counts candidate
+// decryptions (each a full-line AES operation); Recovered counts lines
+// whose counter was stale in NVM and had to be searched for; Unrecovered
+// counts lines whose candidate window exhausted (which then fail
+// validation).
+type RecoveryCost struct {
+	Lines       int
+	Trials      int
+	Recovered   int
+	Unrecovered int
+}
+
+// policy is the shared implementation: a declarative per-design policy
+// table. The seven engines differ only in this data; behaviorally novel
+// designs implement Engine directly.
+type policy struct {
+	name     string
+	design   config.Design
+	enc      bool // counter-mode encryption
+	cache    bool // on-chip counter cache
+	coloc    bool // counters travel with the data line
+	sep      bool // separate counter-region writes
+	fifo     bool // strict FIFO acceptance
+	pairs    bool // per-write indivisible counter pair
+	forceCA  bool // every write is counter-atomic
+	dropCA   bool // no write is ever counter-atomic
+	ccwbEmit bool // ccwb produces a counter write
+	ccwbWait bool // ccwb blocks the persist barrier
+	stopLoss bool // Osiris stop-loss counter writes
+}
+
+func (p *policy) Name() string                 { return p.name }
+func (p *policy) Design() config.Design        { return p.design }
+func (p *policy) Encrypted() bool              { return p.enc }
+func (p *policy) UsesCounterCache() bool       { return p.cache }
+func (p *policy) CoLocatesCounters() bool      { return p.coloc }
+func (p *policy) SeparateCounterWrites() bool  { return p.sep }
+func (p *policy) FIFOAcceptance() bool         { return p.fifo }
+func (p *policy) PairsEveryWrite() bool        { return p.pairs }
+func (p *policy) CounterWritebackEmits() bool  { return p.ccwbEmit }
+func (p *policy) CounterWritebackBlocks() bool { return p.ccwbWait }
+
+func (p *policy) WriteIsCounterAtomic(annotated bool) bool {
+	if p.forceCA {
+		return true
+	}
+	if p.dropCA {
+		return false
+	}
+	return annotated
+}
+
+func (p *policy) StopLossLimit(cfg *config.Config) int {
+	if !p.stopLoss {
+		return -1
+	}
+	return cfg.StopLoss
+}
+
+func (p *policy) Recover(cfg *config.Config, lay mem.Layout, enc *ctrenc.Engine,
+	writes map[mem.Addr]mem.Write) (*mem.Space, RecoveryCost) {
+
+	if p.stopLoss {
+		return recoverOsiris(cfg, lay, enc, writes)
+	}
+	return recoverCounters(lay, enc, writes), RecoveryCost{}
+}
+
+// recoverCounters decrypts every data line with the counter present in the
+// image's counter region — stale or missing counters yield garbage,
+// exactly as on real hardware. A nil encryption engine (plaintext design)
+// copies lines verbatim.
+func recoverCounters(lay mem.Layout, enc *ctrenc.Engine,
+	writes map[mem.Addr]mem.Write) *mem.Space {
+
+	space := mem.NewSpace()
+	for addr, w := range writes {
+		if !lay.IsData(addr) {
+			continue
+		}
+		if enc == nil {
+			space.WriteLine(addr, w.Data)
+			continue
+		}
+		var ctr uint64
+		if cl, ok := writes[lay.CounterLine(addr)]; ok {
+			ctr = ctrenc.UnpackCounterLine(cl.Data)[lay.CounterSlot(addr)]
+		}
+		space.WriteLine(addr, enc.Decrypt(w.Data, addr, ctr))
+	}
+	return space
+}
+
+// recoverOsiris reconstructs plaintext the way Osiris-style firmware
+// would: for each data line, try the counter stored in NVM plus up to
+// StopLoss increments, accepting the first candidate whose decrypted
+// plaintext matches the line's persisted ECC checksum. The stop-loss
+// write rule guarantees the true counter lies within the window; a line
+// whose window exhausts without a match stays garbled (and fails
+// validation).
+func recoverOsiris(cfg *config.Config, lay mem.Layout, enc *ctrenc.Engine,
+	writes map[mem.Addr]mem.Write) (*mem.Space, RecoveryCost) {
+
+	space := mem.NewSpace()
+	var cost RecoveryCost
+	for addr, w := range writes {
+		if !lay.IsData(addr) {
+			continue
+		}
+		cost.Lines++
+		var base uint64
+		if cl, ok := writes[lay.CounterLine(addr)]; ok {
+			base = ctrenc.UnpackCounterLine(cl.Data)[lay.CounterSlot(addr)]
+		}
+		recovered := false
+		for c := base; c <= base+uint64(cfg.StopLoss); c++ {
+			cost.Trials++
+			plain := enc.Decrypt(w.Data, addr, c)
+			if ctrenc.Checksum(plain, addr) == w.Sum {
+				space.WriteLine(addr, plain)
+				recovered = true
+				if c != base {
+					cost.Recovered++
+				}
+				break
+			}
+		}
+		if !recovered {
+			cost.Unrecovered++
+			space.WriteLine(addr, enc.Decrypt(w.Data, addr, base))
+		}
+	}
+	return space, cost
+}
+
+// The seven concrete engines (paper §6.1 plus the Osiris extension).
+var (
+	// Plaintext is an NVMM system without any encryption.
+	Plaintext Engine = &policy{name: "noenc", design: config.NoEncryption, dropCA: true}
+	// Ideal coalesces counters freely and never orders their writebacks;
+	// ccwb emits traffic but the barrier does not wait for it.
+	Ideal Engine = &policy{name: "ideal", design: config.Ideal,
+		enc: true, cache: true, sep: true, ccwbEmit: true}
+	// CoLocated moves the counter with the data over a widened 72b bus;
+	// atomic by construction, serializing read + decrypt.
+	CoLocated Engine = &policy{name: "colocated", design: config.CoLocated,
+		enc: true, coloc: true, dropCA: true}
+	// CoLocatedCC is CoLocated plus a counter cache, overlapping
+	// decryption of cached counters with the data fetch.
+	CoLocatedCC Engine = &policy{name: "colocatedcc", design: config.CoLocatedCC,
+		enc: true, cache: true, coloc: true, dropCA: true}
+	// FCA enforces the ready-bit pairing protocol for every write, in
+	// strict FIFO acceptance order.
+	FCA Engine = &policy{name: "fca", design: config.FCA,
+		enc: true, cache: true, sep: true, fifo: true, pairs: true,
+		forceCA: true, ccwbEmit: true, ccwbWait: true}
+	// SCA pays the pairing protocol only for writes annotated
+	// CounterAtomic; everything else coalesces until a ccwb drains it.
+	SCA Engine = &policy{name: "sca", design: config.SCA,
+		enc: true, cache: true, sep: true, ccwbEmit: true, ccwbWait: true}
+	// Osiris recovers counters from per-line checksums within a
+	// stop-loss window; atomicity is never enforced and ccwb is a no-op.
+	Osiris Engine = &policy{name: "osiris", design: config.Osiris,
+		enc: true, cache: true, sep: true, dropCA: true, stopLoss: true}
+)
+
+// byName indexes the built-in engines.
+var byName = map[string]Engine{}
+
+func init() {
+	for _, e := range []Engine{Plaintext, Ideal, CoLocated, CoLocatedCC, FCA, SCA, Osiris} {
+		byName[e.Name()] = e
+	}
+}
+
+// ByName returns the built-in engine with the given registry name.
+func ByName(name string) (Engine, error) {
+	e, ok := byName[name]
+	if !ok {
+		return nil, fmt.Errorf("engines: unknown metadata engine %q (valid: %v)", name, Names())
+	}
+	return e, nil
+}
+
+// Names lists the built-in engine names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(byName))
+	for n := range byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ForDesign returns the engine implementing the given design enum value.
+func ForDesign(d config.Design) (Engine, error) {
+	for _, e := range byName {
+		if e.Design() == d {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("engines: no metadata engine for design %v", d)
+}

@@ -1,0 +1,93 @@
+package engines
+
+import (
+	"testing"
+
+	"encnvm/internal/config"
+)
+
+// The policy table must reproduce the design predicates exactly — these
+// pairs were branch conditions in the controller before the refactor.
+func TestPolicyTableMatchesDesignPredicates(t *testing.T) {
+	for _, d := range config.AllDesigns {
+		e, err := ForDesign(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Design() != d {
+			t.Errorf("%s: Design() = %v, want %v", e.Name(), e.Design(), d)
+		}
+		if e.Encrypted() != d.Encrypted() {
+			t.Errorf("%s: Encrypted() = %v", e.Name(), e.Encrypted())
+		}
+		if e.UsesCounterCache() != d.UsesCounterCache() {
+			t.Errorf("%s: UsesCounterCache() = %v", e.Name(), e.UsesCounterCache())
+		}
+		if e.CoLocatesCounters() != d.CoLocatesCounters() {
+			t.Errorf("%s: CoLocatesCounters() = %v", e.Name(), e.CoLocatesCounters())
+		}
+		if e.SeparateCounterWrites() != d.SeparateCounterWrites() {
+			t.Errorf("%s: SeparateCounterWrites() = %v", e.Name(), e.SeparateCounterWrites())
+		}
+		byName, err := ByName(e.Name())
+		if err != nil || byName.Design() != d {
+			t.Errorf("ByName(%q) does not round-trip (%v)", e.Name(), err)
+		}
+	}
+	if _, err := ForDesign(config.Design(99)); err == nil {
+		t.Error("ForDesign accepted an out-of-range design")
+	}
+	if _, err := ByName("madeup"); err == nil {
+		t.Error("ByName accepted an unknown engine")
+	}
+}
+
+// Write atomicity is the subtlest branch the controller used to carry:
+// FCA forces every write counter-atomic, co-located and Osiris designs
+// drop the annotation, Ideal and SCA honor it.
+func TestWriteIsCounterAtomic(t *testing.T) {
+	cases := []struct {
+		engine           string
+		plain, annotated bool
+	}{
+		{"noenc", false, false},
+		{"ideal", false, true},
+		{"colocated", false, false},
+		{"colocatedcc", false, false},
+		{"fca", true, true},
+		{"sca", false, true},
+		{"osiris", false, false},
+	}
+	for _, c := range cases {
+		e, err := ByName(c.engine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.WriteIsCounterAtomic(false); got != c.plain {
+			t.Errorf("%s: WriteIsCounterAtomic(false) = %v", c.engine, got)
+		}
+		if got := e.WriteIsCounterAtomic(true); got != c.annotated {
+			t.Errorf("%s: WriteIsCounterAtomic(true) = %v", c.engine, got)
+		}
+	}
+}
+
+// Only Osiris runs the stop-loss rule; everyone else reports the -1
+// sentinel that disables the lag tracker entirely.
+func TestStopLossLimit(t *testing.T) {
+	cfg := config.Default(config.Osiris)
+	cfg.StopLoss = 7
+	for _, name := range Names() {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := -1
+		if name == "osiris" {
+			want = 7
+		}
+		if got := e.StopLossLimit(cfg); got != want {
+			t.Errorf("%s: StopLossLimit = %d, want %d", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package machine_test
+
+import (
+	"bytes"
+	"testing"
+
+	"encnvm/internal/machine"
+)
+
+// FuzzDecodeSpec asserts the spec decoder never panics and that every
+// document it accepts survives an encode/decode round trip.
+func FuzzDecodeSpec(f *testing.F) {
+	f.Add([]byte(`{"engine": "sca"}`))
+	f.Add([]byte(`{"engine": "osiris", "backend": "dram", "stop_loss": 9}`))
+	f.Add([]byte(`{"name": "m", "engine": "noenc", "cores": 4, "l1_bytes": 32768}`))
+	f.Add([]byte(`{"engine": "fca", "read_latency_x": 2.5}`))
+	f.Add([]byte(`{"engine": "sca", "unknown_knob": 1}`))
+	f.Add([]byte(`{"engine": "sca"} trailing`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := machine.DecodeSpecBytes(data)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := s.Encode(&out); err != nil {
+			t.Fatalf("accepted spec failed to encode: %v", err)
+		}
+		if _, err := machine.DecodeSpecBytes(out.Bytes()); err != nil {
+			t.Fatalf("re-encoded spec no longer decodes: %v\n%s", err, out.String())
+		}
+	})
+}

@@ -3,20 +3,13 @@
 // write queue, a counter write queue, and the counter-atomicity protocol
 // that guarantees a data line and its encryption counter persist together.
 //
-// The six evaluated designs differ only in policy:
-//
-//   - NoEncryption: plaintext writes, no counters.
-//   - Ideal: counter-mode encryption; counters coalesce in the counter
-//     cache and are written back only on eviction; no atomicity cost (and
-//     no crash consistency — the crash harness proves it).
-//   - Co-located (±counter cache): counter travels with the data in one
-//     72B access over a widened bus; atomic by construction.
-//   - FCA: every write is counter-atomic — each data write is paired with
-//     a write of its (full) counter line, and the pair is accepted into
-//     the two ADR-protected write queues atomically.
-//   - SCA: only writes marked CounterAtomic pay the pairing protocol;
-//     everything else leaves its counter dirty in the counter cache until
-//     counter_cache_writeback() drains it (coalesced).
+// The evaluated designs differ only in policy, and the controller holds
+// none of it: every design decision — counter placement, atomicity,
+// acceptance order, writeback behavior — is delegated to the
+// machine/engines.Engine it is built with. The controller owns the
+// mechanism (queues, counter cache, encryption pipeline, issue
+// scheduling); the engine answers the policy questions. Adding a design
+// means implementing the engine interface, not editing this package.
 //
 // Counter-atomicity protocol: a CA write is accepted only when the data
 // write queue and the counter write queue both have a free entry; both
@@ -30,6 +23,7 @@ import (
 	"encnvm/internal/cache"
 	"encnvm/internal/config"
 	"encnvm/internal/ctrenc"
+	"encnvm/internal/machine/engines"
 	"encnvm/internal/mem"
 	"encnvm/internal/nvm"
 	"encnvm/internal/probe"
@@ -86,10 +80,11 @@ type writeReq struct {
 
 // Controller is the memory controller for one simulated system.
 type Controller struct {
-	eng *sim.Engine
-	cfg *config.Config
-	dev *nvm.Device
-	st  *stats.Stats
+	eng  *sim.Engine
+	cfg  *config.Config
+	meta engines.Engine // design policy: placement, atomicity, ordering
+	dev  *nvm.Device
+	st   *stats.Stats
 
 	layout mem.Layout
 	enc    *ctrenc.Engine
@@ -118,31 +113,38 @@ type Controller struct {
 	readWaiters   []func()
 
 	// stopLossLag counts, per data line, writes since the line's counter
-	// last headed to NVM (Osiris design only).
-	stopLossLag map[mem.Addr]int
+	// last headed to NVM; nil unless the engine enforces a stop-loss rule.
+	stopLossLag   map[mem.Addr]int
+	stopLossLimit int
 }
 
-// New builds a controller over the given device.
-func New(eng *sim.Engine, cfg *config.Config, dev *nvm.Device, st *stats.Stats) *Controller {
+// New builds a controller over the given device, with the given metadata
+// engine supplying every design decision.
+func New(eng *sim.Engine, cfg *config.Config, meta engines.Engine, dev *nvm.Device, st *stats.Stats) *Controller {
 	mc := &Controller{
-		eng:    eng,
-		cfg:    cfg,
-		dev:    dev,
-		st:     st,
-		layout: dev.Layout(),
-		ctrs:   ctrenc.NewCounters(),
+		eng:           eng,
+		cfg:           cfg,
+		meta:          meta,
+		dev:           dev,
+		st:            st,
+		layout:        dev.Layout(),
+		ctrs:          ctrenc.NewCounters(),
+		stopLossLimit: meta.StopLossLimit(cfg),
 	}
-	if cfg.Design.Encrypted() {
+	if meta.Encrypted() {
 		mc.enc = ctrenc.NewDefault()
 	}
-	if cfg.Design.UsesCounterCache() {
+	if meta.UsesCounterCache() {
 		mc.ctrC = cache.New(cfg.CounterCache)
 	}
-	if cfg.Design == config.Osiris {
+	if mc.stopLossLimit >= 0 {
 		mc.stopLossLag = make(map[mem.Addr]int)
 	}
 	return mc
 }
+
+// Meta returns the metadata engine the controller was built with.
+func (mc *Controller) Meta() engines.Engine { return mc.meta }
 
 // Counters exposes the authoritative per-line counter state (the values
 // most recently used for encryption) for the crash harness and recovery.
@@ -213,19 +215,18 @@ func (mc *Controller) Read(addr mem.Addr, done func()) {
 		userDone()
 	}
 
-	d := mc.cfg.Design
 	switch {
-	case d == config.NoEncryption:
+	case !mc.meta.Encrypted():
 		mc.dev.Read(addr, mc.cfg.AccessBytes(), func(mem.Line, bool) { done() })
 
-	case d == config.CoLocated:
+	case mc.meta.CoLocatesCounters() && !mc.meta.UsesCounterCache():
 		// No counter cache: the counter arrives with the data, so
 		// decryption strictly follows the read (Fig. 6a).
 		mc.dev.Read(addr, mc.cfg.AccessBytes(), func(mem.Line, bool) {
 			mc.eng.Schedule(mc.cfg.CryptoLatency, done)
 		})
 
-	case d == config.CoLocatedCC:
+	case mc.meta.CoLocatesCounters():
 		cl := mc.layout.CounterLine(addr)
 		hit := mc.ctrC.Access(cl, false).Hit
 		mc.ctrC.Clean(cl) // co-located counters are never dirty on-chip
@@ -241,7 +242,7 @@ func (mc *Controller) Read(addr mem.Addr, done func()) {
 			})
 		}
 
-	default: // Ideal, FCA, SCA: separate counter region + counter cache
+	default: // separate counter region + counter cache (Ideal, FCA, SCA, Osiris)
 		cl := mc.layout.CounterLine(addr)
 		res := mc.ctrC.Access(cl, false)
 		mc.evictCounterVictim(res)
@@ -300,21 +301,14 @@ func (mc *Controller) findWrite(addr mem.Addr) bool {
 // Write path
 
 // Write writes back the plaintext line at addr. ca marks a store to a
-// CounterAtomic variable; the FCA design treats every write as
-// counter-atomic regardless. accepted fires when the write's persistence
-// is guaranteed (entered the ADR domain, with its counter where the design
-// requires one).
+// CounterAtomic variable; the engine decides the write's final atomicity
+// (FCA forces it for every write, co-located and checksum-recovery
+// engines never enforce it). accepted fires when the write's persistence
+// is guaranteed (entered the ADR domain, with its counter where the
+// design requires one).
 func (mc *Controller) Write(addr mem.Addr, plain mem.Line, ca bool, accepted func()) {
 	addr = addr.LineAddr()
-	if mc.cfg.Design == config.FCA {
-		ca = true
-	}
-	if !mc.cfg.Design.SeparateCounterWrites() || mc.cfg.Design == config.Osiris {
-		// Co-located designs have no separate counter writes to pair;
-		// Osiris recovers counters from ECC, so atomicity is never
-		// enforced.
-		ca = false
-	}
+	ca = mc.meta.WriteIsCounterAtomic(ca)
 	if ca {
 		mc.st.Inc(stats.CAWrites, 1)
 	} else {
@@ -332,11 +326,11 @@ func (mc *Controller) Write(addr mem.Addr, plain mem.Line, ca bool, accepted fun
 // ADR domain — immediately if there was nothing to write.
 func (mc *Controller) CounterWriteback(addr mem.Addr, accepted func()) {
 	mc.st.Inc(stats.CCWBs, 1)
-	d := mc.cfg.Design
-	if !d.SeparateCounterWrites() || d == config.Osiris {
+	if !mc.meta.CounterWritebackEmits() {
 		// Co-located designs have no separate counters to write, and
-		// Osiris makes the primitive unnecessary: recovery regenerates
-		// counters from the persisted ECC within the stop-loss window.
+		// checksum-recovery engines make the primitive unnecessary:
+		// recovery regenerates counters from the persisted ECC within
+		// the stop-loss window.
 		mc.eng.Schedule(0, accepted)
 		return
 	}
@@ -347,7 +341,7 @@ func (mc *Controller) CounterWriteback(addr mem.Addr, accepted func()) {
 	// the barrier is meant to persist.
 	cl := mc.layout.CounterLine(addr)
 	req := &writeReq{addr: cl, isCtr: true, ccwb: true, arrival: mc.eng.Now()}
-	if d == config.Ideal {
+	if !mc.meta.CounterWritebackBlocks() {
 		// The Ideal design pays the counter write traffic but never
 		// the ordering: the barrier does not wait for the counter to
 		// enter the ADR domain — which is exactly why it is not crash
@@ -406,7 +400,7 @@ func (mc *Controller) tryAccept() {
 	defer func() { mc.accepting = false }()
 	defer mc.probeQueues()
 
-	fifo := mc.cfg.Design == config.FCA
+	fifo := mc.meta.FIFOAcceptance()
 	// blockedLines is bounded by acceptWindow, so a linear scan beats a
 	// map allocation on this very hot path; stalls are tallied locally
 	// and flushed to the stats map once per call.
@@ -526,9 +520,8 @@ func (mc *Controller) acceptData(req *writeReq) {
 	var cipher mem.Line
 	var cryptoDelay sim.Time
 	var ctr uint64
-	d := mc.cfg.Design
 	sum := ctrenc.Checksum(req.plain, req.addr)
-	if d.Encrypted() {
+	if mc.meta.Encrypted() {
 		ctr = mc.ctrs.Next(req.addr)
 		cipher = mc.enc.Encrypt(req.plain, req.addr, ctr)
 		cryptoDelay = mc.cfg.CryptoLatency
@@ -552,7 +545,7 @@ func (mc *Controller) acceptData(req *writeReq) {
 		for _, old := range mc.dataQ {
 			if old.addr == req.addr && !old.issued && !old.ca {
 				old.data, old.tag, old.sum = cipher, ctr, sum
-				if d.CoLocatesCounters() {
+				if mc.meta.CoLocatesCounters() {
 					// The refreshed 72B access carries the new counter.
 					addr, c := req.addr, ctr
 					old.sync = func(at sim.Time) { mc.syncCoLocatedCounter(addr, c, at) }
@@ -567,7 +560,7 @@ func (mc *Controller) acceptData(req *writeReq) {
 	}
 
 	e := &entry{addr: req.addr, data: cipher, nbytes: mc.cfg.AccessBytes(), tag: ctr, sum: sum, ca: req.ca}
-	if d.CoLocatesCounters() {
+	if mc.meta.CoLocatesCounters() {
 		// The 72B access carries the counter with the data; reflect
 		// that in the functional image at the same completion instant
 		// so the pair is atomic by construction.
@@ -579,7 +572,7 @@ func (mc *Controller) acceptData(req *writeReq) {
 
 	if req.ca {
 		cl := mc.layout.CounterLine(req.addr)
-		if mc.cfg.Design == config.FCA {
+		if mc.meta.PairsEveryWrite() {
 			// FCA pairs every write with its own counter-line write —
 			// the pair is indivisible, so the counter half never
 			// coalesces. This is what doubles FCA's write traffic
@@ -741,18 +734,18 @@ func (mc *Controller) retire(isData bool) {
 	mc.tryAccept()
 }
 
-// stopLoss enforces the Osiris rule: a data line's counter heads to NVM
-// after at most StopLoss consecutive rewrites, bounding recovery's
-// candidate-counter search. The counter write is a normal lazy queue entry
-// (no ordering waits) and resets the lag of every line its counter line
-// covers.
+// stopLoss enforces the engine's stop-loss rule (Osiris): a data line's
+// counter heads to NVM after at most StopLossLimit consecutive rewrites,
+// bounding recovery's candidate-counter search. The counter write is a
+// normal lazy queue entry (no ordering waits) and resets the lag of every
+// line its counter line covers.
 func (mc *Controller) stopLoss(addr mem.Addr, cryptoDelay sim.Time) {
 	if mc.stopLossLag == nil {
 		return
 	}
 	line := addr.LineAddr()
 	mc.stopLossLag[line]++
-	if mc.stopLossLag[line] < mc.cfg.StopLoss {
+	if mc.stopLossLag[line] < mc.stopLossLimit {
 		return
 	}
 	cl := mc.layout.CounterLine(line)
@@ -793,11 +786,11 @@ func (mc *Controller) touchCounterCacheForWrite(addr mem.Addr) {
 		return
 	}
 	mc.st.Inc(stats.CounterCacheMiss, 1)
-	if mc.cfg.Design.SeparateCounterWrites() {
+	if mc.meta.SeparateCounterWrites() {
 		// Background fill of the other seven counters in the line.
 		mc.dev.Read(cl, 64, func(mem.Line, bool) {})
 	}
-	if mc.cfg.Design.CoLocatesCounters() {
+	if mc.meta.CoLocatesCounters() {
 		mc.ctrC.Clean(cl) // co-located counters persist with their data
 	}
 }

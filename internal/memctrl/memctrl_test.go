@@ -6,6 +6,7 @@ import (
 
 	"encnvm/internal/config"
 	"encnvm/internal/ctrenc"
+	"encnvm/internal/machine/engines"
 	"encnvm/internal/mem"
 	"encnvm/internal/nvm"
 	"encnvm/internal/sim"
@@ -29,7 +30,11 @@ func newRigCfg(cfg *config.Config) *rig {
 	eng := sim.New()
 	st := stats.New()
 	dev := nvm.New(eng, cfg, st)
-	return &rig{eng: eng, dev: dev, mc: New(eng, cfg, dev, st), st: st, cfg: cfg}
+	meta, err := engines.ForDesign(cfg.Design)
+	if err != nil {
+		panic(err)
+	}
+	return &rig{eng: eng, dev: dev, mc: New(eng, cfg, meta, dev, st), st: st, cfg: cfg}
 }
 
 func lineOf(b byte) mem.Line {

@@ -20,10 +20,11 @@ import (
 // Device is one NVM module. All methods must be called from within the
 // simulation event loop (they are not goroutine-safe).
 type Device struct {
-	eng    *sim.Engine
-	cfg    *config.Config
-	timing config.NVMTiming
-	layout mem.Layout
+	eng     *sim.Engine
+	cfg     *config.Config
+	backend Backend
+	timing  config.NVMTiming
+	layout  mem.Layout
 
 	// Each bank tracks read and write occupancy separately, modeling
 	// PCM write pausing: a read preempts an in-progress array write, so
@@ -48,12 +49,21 @@ type Device struct {
 	wear map[mem.Addr]uint64
 }
 
-// New builds a device for the given configuration.
+// New builds a device for the given configuration over the default PCM
+// backend (the paper's Table-2 timing).
 func New(eng *sim.Engine, cfg *config.Config, st *stats.Stats) *Device {
+	return NewWithBackend(eng, cfg, PCM, st)
+}
+
+// NewWithBackend builds a device whose array timing comes from the given
+// backend. Everything else — banks, bus, functional image, wear — is
+// technology-independent.
+func NewWithBackend(eng *sim.Engine, cfg *config.Config, b Backend, st *stats.Stats) *Device {
 	return &Device{
 		eng:        eng,
 		cfg:        cfg,
-		timing:     cfg.EffectiveTiming(),
+		backend:    b,
+		timing:     b.Timing(cfg),
 		layout:     mem.NewLayout(cfg.MemoryBytes),
 		readBanks:  make([]sim.Resource, cfg.Banks),
 		writeBanks: make([]sim.Resource, cfg.Banks),
@@ -65,6 +75,9 @@ func New(eng *sim.Engine, cfg *config.Config, st *stats.Stats) *Device {
 
 // Layout returns the device's data/counter address layout.
 func (d *Device) Layout() mem.Layout { return d.layout }
+
+// Backend returns the timing backend the device was built over.
+func (d *Device) Backend() Backend { return d.backend }
 
 // SetProbe attaches the observability probe (nil detaches it).
 func (d *Device) SetProbe(p *probe.Probe) { d.pb = p }

@@ -16,8 +16,14 @@ import (
 	"io"
 )
 
-// ManifestSchema identifies the manifest document format.
-const ManifestSchema = "encnvm/run-manifest/v1"
+// ManifestSchema identifies the manifest document format. v2 added the
+// Machine field: the fully-resolved machine spec (engine, backend,
+// sizing) the run was built from.
+const ManifestSchema = "encnvm/run-manifest/v2"
+
+// ManifestSchemaV1 is the previous format, still accepted on decode; a
+// v1 document simply has no Machine field.
+const ManifestSchemaV1 = "encnvm/run-manifest/v1"
 
 // Manifest is the end-of-run document.
 type Manifest struct {
@@ -26,8 +32,12 @@ type Manifest struct {
 	Workload string         `json:"workload"`
 	Cores    int            `json:"cores"`
 	Params   ManifestParams `json:"params"`
-	Config   ManifestConfig `json:"config"`
-	Results  ManifestResult `json:"results"`
+	// Machine is the fully-resolved machine spec (schema v2+). It
+	// mirrors machine.Spec field for field; the mirror exists because
+	// probe sits below the machine layer in the import graph.
+	Machine *ManifestSpec  `json:"machine,omitempty"`
+	Config  ManifestConfig `json:"config"`
+	Results ManifestResult `json:"results"`
 	// Counters holds every stats event counter by name.
 	Counters map[string]uint64 `json:"counters"`
 	// TimesPs holds every accumulated stats time bucket, in picoseconds.
@@ -46,6 +56,28 @@ type ManifestParams struct {
 	ComputeCycles uint32 `json:"compute_cycles"`
 	Legacy        bool   `json:"legacy"`
 	TxMode        string `json:"tx_mode"`
+}
+
+// ManifestSpec is the manifest's copy of the machine spec: which
+// metadata engine and timing backend the run assembled, and the resolved
+// sizing. Field names and JSON tags match machine.Spec one for one.
+type ManifestSpec struct {
+	Name              string  `json:"name,omitempty"`
+	Engine            string  `json:"engine"`
+	Backend           string  `json:"backend,omitempty"`
+	Cores             int     `json:"cores,omitempty"`
+	L1Bytes           int     `json:"l1_bytes,omitempty"`
+	L2Bytes           int     `json:"l2_bytes,omitempty"`
+	CounterCacheBytes int     `json:"counter_cache_bytes,omitempty"`
+	ReadQueueEntries  int     `json:"read_queue_entries,omitempty"`
+	DataWriteQueue    int     `json:"data_write_queue,omitempty"`
+	CounterWriteQueue int     `json:"counter_write_queue,omitempty"`
+	Banks             int     `json:"banks,omitempty"`
+	MemoryBytes       uint64  `json:"memory_bytes,omitempty"`
+	CryptoLatencyPs   uint64  `json:"crypto_latency_ps,omitempty"`
+	StopLoss          int     `json:"stop_loss,omitempty"`
+	ReadLatencyX      float64 `json:"read_latency_x,omitempty"`
+	WriteLatencyX     float64 `json:"write_latency_x,omitempty"`
 }
 
 // ManifestConfig records the simulated hardware configuration knobs that
@@ -111,8 +143,9 @@ func DecodeManifest(r io.Reader) (*Manifest, error) {
 	if err := dec.Decode(&m); err != nil {
 		return nil, fmt.Errorf("probe: decoding manifest: %w", err)
 	}
-	if m.Schema != ManifestSchema {
-		return nil, fmt.Errorf("probe: unknown manifest schema %q (want %q)", m.Schema, ManifestSchema)
+	if m.Schema != ManifestSchema && m.Schema != ManifestSchemaV1 {
+		return nil, fmt.Errorf("probe: unknown manifest schema %q (want %q or %q)",
+			m.Schema, ManifestSchema, ManifestSchemaV1)
 	}
 	return &m, nil
 }

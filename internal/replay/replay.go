@@ -17,6 +17,7 @@ import (
 
 	"encnvm/internal/cache"
 	"encnvm/internal/config"
+	"encnvm/internal/machine"
 	"encnvm/internal/mem"
 	"encnvm/internal/memctrl"
 	"encnvm/internal/nvm"
@@ -28,11 +29,13 @@ import (
 
 // System is one simulated machine mid-replay.
 type System struct {
-	Eng *sim.Engine
-	Cfg *config.Config
-	St  *stats.Stats
-	Dev *nvm.Device
-	MC  *memctrl.Controller
+	Eng  *sim.Engine
+	Cfg  *config.Config
+	St   *stats.Stats
+	Dev  *nvm.Device
+	MC   *memctrl.Controller
+	Meta machine.MetadataEngine
+	Spec *machine.Spec // fully-resolved machine description
 
 	l2    *cache.Cache
 	cores []*core
@@ -84,24 +87,42 @@ type core struct {
 var txStageNames = [...]string{"log", "log-seal", "mutate", "commit-switch"}
 
 // New builds a system that will replay one trace per core. len(traces)
-// must equal cfg.NumCores.
+// must equal cfg.NumCores. The machine is assembled through the builder
+// (machine.FromConfig): PCM backend, engine chosen by cfg.Design.
 func New(cfg *config.Config, traces []*trace.Trace) (*System, error) {
-	if err := cfg.Validate(); err != nil {
+	m, err := machine.FromConfig(cfg)
+	if err != nil {
 		return nil, err
 	}
+	return NewMachine(m, traces)
+}
+
+// NewSpec builds a system for a declarative machine spec — the path that
+// reaches custom engines, sizings, and non-PCM backends.
+func NewSpec(spec *machine.Spec, traces []*trace.Trace) (*System, error) {
+	m, err := machine.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	return NewMachine(m, traces)
+}
+
+// NewMachine attaches replay cores to an assembled machine. len(traces)
+// must equal the machine's core count.
+func NewMachine(m *machine.Machine, traces []*trace.Trace) (*System, error) {
+	cfg := m.Cfg
 	if len(traces) != cfg.NumCores {
 		return nil, fmt.Errorf("replay: %d traces for %d cores", len(traces), cfg.NumCores)
 	}
-	eng := sim.New()
-	st := stats.New()
-	dev := nvm.New(eng, cfg, st)
 	sys := &System{
-		Eng:    eng,
+		Eng:    m.Eng,
 		Cfg:    cfg,
-		St:     st,
-		Dev:    dev,
-		MC:     memctrl.New(eng, cfg, dev, st),
-		l2:     cache.New(cfg.L2),
+		St:     m.St,
+		Dev:    m.Dev,
+		MC:     m.MC,
+		Meta:   m.Meta,
+		Spec:   m.Spec,
+		l2:     m.L2,
 		plain:  mem.NewSpace(),
 		caLine: make(map[mem.Addr]bool),
 	}
