@@ -11,11 +11,13 @@ import (
 // statement's init/condition); compound statements are decomposed so a
 // fence inside one branch never masks its absence on the other.
 //
-// The model is deliberately modest: goto is treated as function exit
-// (conservative — flags rather than misses), labeled break/continue bind
-// to the nearest enclosing target, fallthrough falls out of the switch,
-// and function literals are opaque (their bodies neither fence nor
-// emit).
+// The model is deliberately modest: labeled break/continue bind to the
+// loop or switch carrying that label, forward goto jumps to its target
+// statement, backward goto is treated as function exit (conservative —
+// flags rather than misses; the reverse build order means only targets
+// later in the source are known when the goto is reached), fallthrough
+// falls out of the switch, and function literals are opaque (their
+// bodies neither fence nor emit).
 type cfgNode struct {
 	parts []ast.Node
 	succs []*cfgNode
@@ -25,12 +27,26 @@ type cfgBuilder struct {
 	exit *cfgNode
 	brks []*cfgNode // break targets: loops and switches
 	cnts []*cfgNode // continue targets: loops only
+
+	// pendingLabels carries labels down to the loop/switch/select they
+	// annotate (stacked labels on one statement all apply), so labeled
+	// break/continue resolve to the RIGHT construct, not the nearest
+	// enclosing one.
+	pendingLabels []string
+	labels        map[string]*cfgNode // goto targets: labeled statement entries
+	lblBrk        map[string]*cfgNode // per-label break targets
+	lblCnt        map[string]*cfgNode // per-label continue targets
 }
 
 // buildCFG builds the graph for one function body and returns its entry
 // and exit nodes.
 func buildCFG(body *ast.BlockStmt) (entry, exit *cfgNode) {
-	b := &cfgBuilder{exit: &cfgNode{}}
+	b := &cfgBuilder{
+		exit:   &cfgNode{},
+		labels: map[string]*cfgNode{},
+		lblBrk: map[string]*cfgNode{},
+		lblCnt: map[string]*cfgNode{},
+	}
 	return b.seq(body.List, b.exit), b.exit
 }
 
@@ -43,11 +59,19 @@ func (b *cfgBuilder) seq(stmts []ast.Stmt, next *cfgNode) *cfgNode {
 }
 
 func (b *cfgBuilder) stmt(s ast.Stmt, next *cfgNode) *cfgNode {
+	labels := b.pendingLabels
+	b.pendingLabels = nil
 	switch s := s.(type) {
 	case *ast.BlockStmt:
 		return b.seq(s.List, next)
 	case *ast.LabeledStmt:
-		return b.stmt(s.Stmt, next)
+		b.pendingLabels = append(labels, s.Label.Name)
+		entry := b.stmt(s.Stmt, next)
+		b.pendingLabels = nil
+		// Statements later in the source build first (seq is reverse
+		// order), so a forward goto finds its target registered here.
+		b.labels[s.Label.Name] = entry
+		return entry
 	case *ast.IfStmt:
 		thenE := b.seq(s.Body.List, next)
 		elseE := next
@@ -75,7 +99,9 @@ func (b *cfgBuilder) stmt(s ast.Stmt, next *cfgNode) *cfgNode {
 		}
 		b.brks = append(b.brks, next)
 		b.cnts = append(b.cnts, header)
+		b.bindLoopLabels(labels, next, header)
 		body := b.seq(s.Body.List, header)
+		b.unbindLabels(labels)
 		b.brks = b.brks[:len(b.brks)-1]
 		b.cnts = b.cnts[:len(b.cnts)-1]
 		header.succs = []*cfgNode{body, next}
@@ -84,22 +110,28 @@ func (b *cfgBuilder) stmt(s ast.Stmt, next *cfgNode) *cfgNode {
 		header := &cfgNode{parts: []ast.Node{s.X}}
 		b.brks = append(b.brks, next)
 		b.cnts = append(b.cnts, header)
+		b.bindLoopLabels(labels, next, header)
 		body := b.seq(s.Body.List, header)
+		b.unbindLabels(labels)
 		b.brks = b.brks[:len(b.brks)-1]
 		b.cnts = b.cnts[:len(b.cnts)-1]
 		header.succs = []*cfgNode{body, next}
 		return header
 	case *ast.SwitchStmt:
-		return b.switchCFG(s.Init, s.Tag, s.Body, next)
+		return b.switchCFG(s.Init, s.Tag, s.Body, next, labels)
 	case *ast.TypeSwitchStmt:
-		return b.switchCFG(s.Init, nil, s.Body, next)
+		return b.switchCFG(s.Init, nil, s.Body, next, labels)
 	case *ast.SelectStmt:
 		header := &cfgNode{}
 		b.brks = append(b.brks, next)
+		for _, l := range labels {
+			b.lblBrk[l] = next
+		}
 		for _, cc := range s.Body.List {
 			c := cc.(*ast.CommClause)
 			header.succs = append(header.succs, b.seq(c.Body, next))
 		}
+		b.unbindLabels(labels)
 		b.brks = b.brks[:len(b.brks)-1]
 		if len(header.succs) == 0 {
 			header.succs = []*cfgNode{next}
@@ -110,14 +142,29 @@ func (b *cfgBuilder) stmt(s ast.Stmt, next *cfgNode) *cfgNode {
 	case *ast.BranchStmt:
 		switch s.Tok {
 		case token.BREAK:
-			if len(b.brks) > 0 {
+			if s.Label != nil {
+				if t, ok := b.lblBrk[s.Label.Name]; ok {
+					return &cfgNode{succs: []*cfgNode{t}}
+				}
+			} else if len(b.brks) > 0 {
 				return &cfgNode{succs: []*cfgNode{b.brks[len(b.brks)-1]}}
 			}
 		case token.CONTINUE:
-			if len(b.cnts) > 0 {
+			if s.Label != nil {
+				if t, ok := b.lblCnt[s.Label.Name]; ok {
+					return &cfgNode{succs: []*cfgNode{t}}
+				}
+			} else if len(b.cnts) > 0 {
 				return &cfgNode{succs: []*cfgNode{b.cnts[len(b.cnts)-1]}}
 			}
 		case token.GOTO:
+			if s.Label != nil {
+				if t, ok := b.labels[s.Label.Name]; ok {
+					return &cfgNode{succs: []*cfgNode{t}}
+				}
+			}
+			// Backward goto: the target built after this point, so it is
+			// unknown — treat as exit (conservative).
 			return &cfgNode{succs: []*cfgNode{b.exit}}
 		}
 		return &cfgNode{succs: []*cfgNode{next}}
@@ -130,7 +177,7 @@ func (b *cfgBuilder) stmt(s ast.Stmt, next *cfgNode) *cfgNode {
 	}
 }
 
-func (b *cfgBuilder) switchCFG(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, next *cfgNode) *cfgNode {
+func (b *cfgBuilder) switchCFG(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, next *cfgNode, labels []string) *cfgNode {
 	header := &cfgNode{}
 	if init != nil {
 		header.parts = append(header.parts, init)
@@ -139,6 +186,9 @@ func (b *cfgBuilder) switchCFG(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt,
 		header.parts = append(header.parts, tag)
 	}
 	b.brks = append(b.brks, next)
+	for _, l := range labels {
+		b.lblBrk[l] = next
+	}
 	hasDefault := false
 	for _, cc := range body.List {
 		c, ok := cc.(*ast.CaseClause)
@@ -154,11 +204,28 @@ func (b *cfgBuilder) switchCFG(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt,
 		}
 		header.succs = append(header.succs, entry)
 	}
+	b.unbindLabels(labels)
 	b.brks = b.brks[:len(b.brks)-1]
 	if !hasDefault || len(header.succs) == 0 {
 		header.succs = append(header.succs, next)
 	}
 	return header
+}
+
+// bindLoopLabels registers a labeled loop's break and continue targets
+// for the duration of its body build.
+func (b *cfgBuilder) bindLoopLabels(labels []string, brk, cnt *cfgNode) {
+	for _, l := range labels {
+		b.lblBrk[l] = brk
+		b.lblCnt[l] = cnt
+	}
+}
+
+func (b *cfgBuilder) unbindLabels(labels []string) {
+	for _, l := range labels {
+		delete(b.lblBrk, l)
+		delete(b.lblCnt, l)
+	}
 }
 
 // terminates reports whether the statement unconditionally stops

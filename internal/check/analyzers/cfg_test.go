@@ -1,0 +1,302 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// cfgOf builds the statement CFG for a function body given as source.
+func cfgOf(t *testing.T, body string) (entry, exit *cfgNode) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return buildCFG(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+// mentions reports whether any of the node's AST parts reference the
+// identifier (marker calls like A(), loop variables like i).
+func mentions(n *cfgNode, name string) bool {
+	found := false
+	inspectParts(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// reach returns the nodes reachable from start (inclusive), refusing to
+// traverse through nodes mentioning any identifier in avoid.
+func reach(start *cfgNode, avoid ...string) map[*cfgNode]bool {
+	blocked := func(n *cfgNode) bool {
+		for _, a := range avoid {
+			if mentions(n, a) {
+				return true
+			}
+		}
+		return false
+	}
+	seen := map[*cfgNode]bool{}
+	var walk func(*cfgNode)
+	walk = func(n *cfgNode) {
+		if seen[n] || blocked(n) {
+			return
+		}
+		seen[n] = true
+		for _, s := range n.succs {
+			walk(s)
+		}
+	}
+	walk(start)
+	return seen
+}
+
+// findNode returns the first reachable node mentioning the identifier,
+// or nil.
+func findNode(from *cfgNode, name string) *cfgNode {
+	for n := range reach(from) {
+		if mentions(n, name) {
+			return n
+		}
+	}
+	return nil
+}
+
+// canReach reports whether a node mentioning name is reachable from
+// start without traversing nodes that mention any avoid identifier.
+func canReach(start *cfgNode, name string, avoid ...string) bool {
+	for n := range reach(start, avoid...) {
+		if mentions(n, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// A forward goto jumps to its label's statement, not to function exit:
+// the skipped statement must be unreachable, the target reachable.
+func TestCFGForwardGoto(t *testing.T) {
+	entry, _ := cfgOf(t, `
+	goto done
+	A()
+done:
+	B()`)
+	if !canReach(entry, "B") {
+		t.Error("goto target B() not reachable from entry")
+	}
+	if canReach(entry, "A") {
+		t.Error("A() reachable from entry, but the goto jumps over it")
+	}
+}
+
+// A backward goto's target built after the goto itself (reverse build
+// order), so it conservatively falls back to function exit. The build
+// must terminate and the loop body stay reachable.
+func TestCFGBackwardGoto(t *testing.T) {
+	entry, exit := cfgOf(t, `
+again:
+	A()
+	if c {
+		goto again
+	}
+	B()`)
+	if !canReach(entry, "A") || !canReach(entry, "B") {
+		t.Error("statements around a backward goto must stay reachable")
+	}
+	if !reach(entry)[exit] {
+		t.Error("exit not reachable")
+	}
+}
+
+// break with a label exits the LABELED loop: control lands after the
+// outer loop, never on the code between the inner and outer loop ends.
+func TestCFGLabeledBreak(t *testing.T) {
+	entry, _ := cfgOf(t, `
+outer:
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if c {
+				A()
+				break outer
+			}
+		}
+		B()
+	}
+	C()`)
+	a := findNode(entry, "A")
+	if a == nil {
+		t.Fatal("A() node not found")
+	}
+	if !canReach(a, "C") {
+		t.Error("break outer must reach C() after the outer loop")
+	}
+	if canReach(a, "B") {
+		t.Error("break outer must NOT fall to B() (that is the inner loop's break target)")
+	}
+}
+
+// continue with a label resumes the LABELED loop's header (the node
+// carrying i), not the nearest enclosing one (the node carrying j).
+func TestCFGLabeledContinue(t *testing.T) {
+	entry, _ := cfgOf(t, `
+outer:
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if c {
+				A()
+				continue outer
+			}
+		}
+	}`)
+	a := findNode(entry, "A")
+	if a == nil {
+		t.Fatal("A() node not found")
+	}
+	if !canReach(a, "i", "j") {
+		t.Error("continue outer must reach the outer header without passing the inner one")
+	}
+}
+
+// break with a label inside a select exits the labeled loop entirely,
+// skipping the loop tail after the select.
+func TestCFGLabeledBreakFromSelect(t *testing.T) {
+	entry, _ := cfgOf(t, `
+loop:
+	for {
+		select {
+		case v := <-ch:
+			A()
+			break loop
+		default:
+			B()
+		}
+		C()
+	}
+	D()`)
+	a := findNode(entry, "A")
+	if a == nil {
+		t.Fatal("A() node not found")
+	}
+	if !canReach(a, "D") {
+		t.Error("break loop must reach D() after the loop")
+	}
+	if canReach(a, "C") {
+		t.Error("break loop must NOT fall to C() (that is the select's break target)")
+	}
+}
+
+// A select's empty default body flows straight to the next statement,
+// and a bare select{} keeps the exit reachable (conservative).
+func TestCFGSelectEmptyDefault(t *testing.T) {
+	entry, _ := cfgOf(t, `
+	select {
+	case <-ch:
+		A()
+	default:
+	}
+	B()`)
+	if !canReach(entry, "A") || !canReach(entry, "B") {
+		t.Error("both the comm clause and the statement after the select must be reachable")
+	}
+	entry2, exit2 := cfgOf(t, `
+	select {
+	}
+	B()`)
+	if !canReach(entry2, "B") || !reach(entry2)[exit2] {
+		t.Error("empty select must flow to the next statement")
+	}
+}
+
+// Stacked labels on one loop both bind to it.
+func TestCFGStackedLabels(t *testing.T) {
+	entry, _ := cfgOf(t, `
+a:
+b:
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			A()
+			break a
+		}
+		B()
+	}
+	C()`)
+	a := findNode(entry, "A")
+	if a == nil {
+		t.Fatal("A() node not found")
+	}
+	if !canReach(a, "C") || canReach(a, "B") {
+		t.Error("break via an outer stacked label must exit the loop it annotates")
+	}
+}
+
+// persistorder rides on the CFG: a forward goto INTO the fence is
+// ordered (no finding), a goto AROUND the fence is a real escape.
+func TestPersistOrderGotoPaths(t *testing.T) {
+	clean := runSnippet(t, `package p
+func f(rt R) {
+	rt.Clwb(0, 8)
+	goto flush
+flush:
+	rt.Fence()
+}`)
+	if len(clean) != 0 {
+		t.Errorf("goto into the fence should be clean, got %v", clean)
+	}
+	bad := runSnippet(t, `package p
+func f(rt R) {
+	rt.Clwb(0, 8)
+	goto done
+	rt.Fence()
+done:
+	return
+}`)
+	if len(bad) != 1 || bad[0].Analyzer != "persistorder" {
+		t.Errorf("goto around the fence should draw one persistorder finding, got %v", bad)
+	}
+}
+
+// persistorder catches a labeled break escaping past the loop-tail
+// fence — exactly the path the old nearest-target binding missed.
+func TestPersistOrderLabeledBreakEscape(t *testing.T) {
+	fs := runSnippet(t, `package p
+func f(rt R) {
+	rt.Fence()
+outer:
+	for i := 0; i < 4; i++ {
+		rt.Clwb(i, 8)
+		for j := 0; j < 4; j++ {
+			if j == 2 {
+				break outer
+			}
+		}
+		rt.Fence()
+	}
+	rt.Fence()
+}`)
+	if len(fs) != 0 {
+		t.Errorf("fence after the loop covers the labeled break, got %v", fs)
+	}
+	fs = runSnippet(t, `package p
+func f(rt R) {
+outer:
+	for i := 0; i < 4; i++ {
+		rt.Clwb(i, 8)
+		for j := 0; j < 4; j++ {
+			if j == 2 {
+				break outer
+			}
+		}
+		rt.Fence()
+	}
+}`)
+	if len(fs) != 1 || fs[0].Analyzer != "persistorder" {
+		t.Errorf("labeled break past the fence should draw one persistorder finding, got %v", fs)
+	}
+}

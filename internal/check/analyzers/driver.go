@@ -70,16 +70,7 @@ func RunFiles(fset *token.FileSet, files []*ast.File, dir string, as []*Analyzer
 			return nil, fmt.Errorf("analyzers: %s: %w", a.Name, err)
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i].Pos, findings[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		return a.Column < b.Column
-	})
+	sortFindings(findings)
 	return findings, nil
 }
 

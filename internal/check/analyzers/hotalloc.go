@@ -1,0 +1,127 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// HotAlloc flags heap-allocation sites on paths reachable from the
+// per-write replay loop — the functions ROADMAP item 2 requires to
+// become allocation-free. The roots are every method keyed core.step
+// (internal/replay's dispatch loop); everything those functions can call
+// — controller acceptance, engine scheduling, cache and device paths —
+// is hot.
+//
+// Allocation categories (the allowlist's second column):
+//
+//	composite  &T{...}, []T{...}, map literals — escaping composites
+//	make       make(slice/map/chan)
+//	new        new(T)
+//	append     append growth (amortized allocation)
+//	closure    function literals (the closure header escapes)
+//	box        interface boxing via variadic ... calls (fmt, errors, log)
+//
+// Without type information, escape analysis is approximated by shape:
+// value composite literals (T{...} assigned to a value) are NOT flagged,
+// &T{...} and reference-type literals are. Function literals that are
+// immediately invoked under defer are skipped — open-coded defers do not
+// allocate. panic(...) arguments are skipped too: a panic path
+// terminates the run, so its allocations never execute in steady state.
+// Known unavoidable sites live in the checked-in allowlist
+// (internal/check/analyzers/hotalloc.allow) with a reason comment.
+var HotAlloc = &InterAnalyzer{
+	Name: "hotalloc",
+	Doc:  "flags heap allocations reachable from the per-write replay loop (core.step)",
+	Run:  runHotAlloc,
+}
+
+// hotRoot is the dot-boundary key suffix selecting the replay loop.
+const hotRoot = "core.step"
+
+// boxingPackages are stdlib packages whose exported call surface is
+// dominated by variadic ...interface{} parameters: every argument boxes.
+var boxingPackages = map[string]bool{"fmt": true, "errors": true, "log": true}
+
+func runHotAlloc(g *CallGraph, opts *InterOptions) ([]Finding, error) {
+	hot := g.Reachable(hotRoot)
+	if len(hot) == 0 {
+		return nil, fmt.Errorf("no %s root found in the analyzed packages; hotalloc needs the replay loop (or a fixture defining core.step) in scope", hotRoot)
+	}
+	var findings []Finding
+	for _, key := range g.Keys() {
+		if !hot[key] {
+			continue
+		}
+		info := g.Funcs[key]
+		report := func(pos token.Pos, category, what string) {
+			if opts.Allow.Allows(key, category) {
+				return
+			}
+			findings = append(findings, Finding{
+				Analyzer: "hotalloc",
+				Pos:      g.Fset.Position(pos),
+				Message:  fmt.Sprintf("%s in %s, reachable from %s: %s (allowlist key: %q %s)", category, key, hotRoot, what, key, category),
+			})
+		}
+		scanAllocations(info.Decl.Body, report)
+	}
+	return findings, nil
+}
+
+// scanAllocations walks one function body reporting allocation sites.
+func scanAllocations(body *ast.BlockStmt, report func(pos token.Pos, category, what string)) {
+	skipLit := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		// defer func(){...}() — the open-coded defer's closure does not
+		// escape; mark the literal before the walk descends into it.
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				skipLit[lit] = true
+			}
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if !skipLit[x] {
+				report(x.Pos(), "closure", "function literal allocates its closure")
+			}
+			return true // closures run on the hot path too: keep scanning
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					report(x.Pos(), "composite", "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			switch x.Type.(type) {
+			case *ast.ArrayType:
+				if x.Type.(*ast.ArrayType).Len == nil {
+					report(x.Pos(), "composite", "slice literal allocates backing storage")
+				}
+			case *ast.MapType:
+				report(x.Pos(), "composite", "map literal allocates")
+			}
+		case *ast.CallExpr:
+			switch fun := x.Fun.(type) {
+			case *ast.Ident:
+				switch fun.Name {
+				case "panic":
+					// Terminating path: its argument allocations (the
+					// usual fmt.Sprintf) never run in steady state.
+					return false
+				case "make":
+					report(x.Pos(), "make", "make allocates")
+				case "new":
+					report(x.Pos(), "new", "new allocates")
+				case "append":
+					report(x.Pos(), "append", "append may grow its backing array")
+				}
+			case *ast.SelectorExpr:
+				if id, ok := fun.X.(*ast.Ident); ok && boxingPackages[id.Name] && len(x.Args) > 0 {
+					report(x.Pos(), "box", fmt.Sprintf("%s.%s boxes its arguments into interface{}", id.Name, fun.Sel.Name))
+				}
+			}
+		}
+		return true
+	})
+}

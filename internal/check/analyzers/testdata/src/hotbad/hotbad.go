@@ -1,0 +1,43 @@
+// Package hotbad seeds one allocation per hotalloc category on paths
+// reachable from core.step; the golden test counts exactly these.
+package hotbad
+
+import "fmt"
+
+type core struct {
+	buf   []byte
+	cache *entry
+}
+
+type entry struct {
+	addr uint64
+	next *entry
+}
+
+func (c *core) step(addr uint64) {
+	e := &entry{addr: addr} // seeded: composite
+	c.cache = e
+	c.dispatch(addr)
+}
+
+func (c *core) dispatch(addr uint64) {
+	tmp := make([]uint64, 8) // seeded: make
+	tmp[0] = addr
+	c.buf = append(c.buf, byte(addr)) // seeded: append
+	emit(addr)
+}
+
+func emit(addr uint64) {
+	p := new(uint64) // seeded: new
+	*p = addr
+	cb := func() uint64 { return addr } // seeded: closure
+	_ = cb()
+	fmt.Println(addr) // seeded: box
+}
+
+// cold allocates freely, but nothing on the step path calls it: its
+// sites must NOT be flagged.
+func cold() []int {
+	out := []int{1, 2}
+	return append(out, 3)
+}

@@ -1,0 +1,37 @@
+// Package hotclean mirrors hotbad's shape — a core.step root with a
+// callee chain — but keeps the hot path allocation-free: fixed arrays,
+// value composites, a defer-invoked literal, and boxing only inside a
+// terminating panic, none of which allocate in steady state.
+package hotclean
+
+import "fmt"
+
+type core struct {
+	buf  [8]uint64
+	head int
+}
+
+type entry struct{ addr uint64 }
+
+func (c *core) step(addr uint64) {
+	defer func() { c.head++ }() // open-coded defer: not an allocation
+	c.buf[c.head&7] = addr
+	c.apply(addr)
+}
+
+func (c *core) apply(addr uint64) {
+	if addr == 0 {
+		panic(fmt.Sprintf("hotclean: zero address at head %d", c.head))
+	}
+	v := entry{addr: addr} // value composite: stays on the stack
+	c.buf[0] = v.addr
+}
+
+// snapshot allocates, but only cold callers (none here) use it.
+func (c *core) snapshot() []uint64 {
+	out := make([]uint64, len(c.buf))
+	for i, v := range c.buf {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+// Package lockbad seeds every lockorder hazard class: a lock-order
+// cycle (both directions reported), channel send and receive under a
+// held mutex, a direct re-acquisition, and a transitive one through a
+// callee. The golden test counts exactly these six findings.
+package lockbad
+
+import "sync"
+
+type pool struct {
+	mu    sync.Mutex
+	aux   sync.Mutex
+	ch    chan int
+	queue []int
+}
+
+// cycleAB acquires mu then aux...
+func (p *pool) cycleAB() {
+	p.mu.Lock()
+	p.aux.Lock() // seeded: cycle edge mu -> aux
+	p.aux.Unlock()
+	p.mu.Unlock()
+}
+
+// ...and cycleBA the reverse order: a deadlock cycle.
+func (p *pool) cycleBA() {
+	p.aux.Lock()
+	p.mu.Lock() // seeded: cycle edge aux -> mu
+	p.mu.Unlock()
+	p.aux.Unlock()
+}
+
+func (p *pool) sendUnderLock(v int) {
+	p.mu.Lock()
+	p.ch <- v // seeded: send under lock
+	p.mu.Unlock()
+}
+
+func (p *pool) recvUnderLock() int {
+	p.mu.Lock()
+	v := <-p.ch // seeded: receive under lock
+	p.mu.Unlock()
+	return v
+}
+
+func (p *pool) relock() {
+	p.mu.Lock()
+	p.mu.Lock() // seeded: direct re-acquisition
+	p.mu.Unlock()
+	p.mu.Unlock()
+}
+
+// push holds mu across a call to locked, which locks mu again.
+func (p *pool) push(v int) {
+	p.mu.Lock()
+	p.locked(v) // seeded: transitive re-acquisition
+	p.mu.Unlock()
+}
+
+func (p *pool) locked(v int) {
+	p.mu.Lock()
+	p.queue = append(p.queue, v)
+	p.mu.Unlock()
+}

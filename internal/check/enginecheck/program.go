@@ -1,0 +1,83 @@
+package enginecheck
+
+import (
+	"encoding/binary"
+
+	"encnvm/internal/persist"
+	"encnvm/internal/trace"
+)
+
+// Program is one abstract persistency protocol: a trace recorded by the
+// real persist runtime (so the op stream is exactly what workloads emit,
+// not a hand-rolled approximation) plus the arena needed to classify log
+// writes. The verifier symbolically executes it under each engine's
+// persistence model.
+type Program struct {
+	Name   string
+	Trace  *trace.Trace
+	Arenas []persist.Arena
+}
+
+// programArena sizes the toy address space: the standard log region plus
+// a few heap lines.
+const programArena = 1 << 20
+
+// Programs returns the abstract protocol catalog. Each call rebuilds the
+// traces from scratch; they are deterministic by construction (the
+// runtime has no entropy source).
+func Programs() []Program {
+	return []Program{
+		txProgram("tx-undo", persist.Undo),
+		txProgram("tx-redo", persist.Redo),
+		publishProgram(),
+	}
+}
+
+// programByName returns the named program, for counterexample replay.
+func programByName(name string) (Program, bool) {
+	for _, p := range Programs() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}
+
+// txProgram records two logged transactions — Figure 9's prepare / seal /
+// mutate / commit protocol — over a small heap. Two transactions back to
+// back exercise the seal re-arm after the first commit releases it.
+func txProgram(name string, mode persist.TxMode) Program {
+	rt := persist.NewRuntime(persist.ArenaFor(0, programArena))
+	rt.SetTxMode(mode)
+	a := rt.AllocLines(3)
+	var init [8]byte
+	rt.Store(a, init[:])
+	rt.PersistBarrier(a, 8)
+	rt.Tx(func(tx *persist.Tx) {
+		tx.StoreUint64(a, 1)
+		tx.StoreUint64(a+64, 2)
+	})
+	rt.Tx(func(tx *persist.Tx) {
+		tx.StoreUint64(a+128, 3)
+	})
+	return Program{Name: name, Trace: rt.Trace(), Arenas: []persist.Arena{rt.Arena()}}
+}
+
+// publishProgram records the untransactional publish idiom from §4.3:
+// build a payload with plain stores, make it durable with a persist
+// barrier, then publish it with a CounterAtomic flag store. This is the
+// pattern whose switch V1/V2 police outside transactions.
+func publishProgram() Program {
+	rt := persist.NewRuntime(persist.ArenaFor(0, programArena))
+	payload := rt.AllocLines(2)
+	flag := rt.AllocLines(1)
+	var word [8]byte
+	binary.LittleEndian.PutUint64(word[:], 0x1122334455667788)
+	rt.Store(payload, word[:])
+	rt.Store(payload+64, word[:])
+	rt.PersistBarrier(payload, 2*64)
+	rt.StoreUint64CounterAtomic(flag, 1)
+	rt.Clwb(flag, 8)
+	rt.Fence()
+	return Program{Name: "publish", Trace: rt.Trace(), Arenas: []persist.Arena{rt.Arena()}}
+}

@@ -87,6 +87,72 @@ type Options struct {
 	IsLog func(addr mem.Addr) bool
 	// Core is recorded in emitted schedules (default 0).
 	Core int
+	// Model selects the engine-dependent persistence semantics. Nil
+	// verifies under the default model — SCA-style separate counters
+	// where only annotated stores persist atomically and ccwb is
+	// fence-ordered — which is the machine the trace IR was recorded on.
+	Model *Model
+}
+
+// Model abstracts over the persistence semantics that differ between
+// metadata engines, so one trace can be verified the way each design's
+// hardware would persist it. The software annotations in the trace are
+// interpreted unchanged — a CounterAtomic store is still the protocol's
+// publication point, and the log seal is still detected from it — but
+// the persist-set facts a store perturbs depend on the engine: whether
+// data and counter land atomically, whether the counter dimension is at
+// risk at all, and whether counter_cache_writeback() is ordered by the
+// next fence.
+//
+// The zero Model (and a nil Options.Model) reproduces the verifier's
+// historical behavior exactly: AtomicWrite = identity on the annotation,
+// CounterFree = false, CCWBOrdered = true.
+type Model struct {
+	// AtomicWrite reports whether a store with the given software
+	// annotation persists its data and counter atomically (the engine's
+	// WriteIsCounterAtomic policy). Nil means the annotation itself.
+	AtomicWrite func(annotated bool) bool
+	// CounterFree reports that separate counter durability is never a
+	// crash risk for this engine: plaintext (no counters), co-located
+	// counters (travel with the line), or checksum-recoverable counters
+	// within a stop-loss window. Counter facts then track data facts.
+	CounterFree bool
+	// CCWBOrdered reports that counter_cache_writeback() emits a counter
+	// write which the next retired sfence makes definitely persistent.
+	// When false (Ideal: traffic but no ordering), a CCWB op never makes
+	// any counter definitely persistent — the sound abstraction of an
+	// unordered writeback.
+	CCWBOrdered bool
+}
+
+// atomic resolves the engine-effective persistence atomicity of a store.
+func (m Model) atomic(annotated bool) bool {
+	if m.CounterFree {
+		return true
+	}
+	if m.AtomicWrite != nil {
+		return m.AtomicWrite(annotated)
+	}
+	return annotated
+}
+
+// Invariant documents one verifier invariant for tool catalogs.
+type Invariant struct {
+	ID  string
+	Doc string
+}
+
+// Invariants returns the catalog of crash-consistency invariants this
+// package checks, in ID order, for persistcheck -list and the
+// enginecheck rule tables.
+func Invariants() []Invariant {
+	return []Invariant{
+		{"V0", "trace is structurally valid (balanced transactions, known ops)"},
+		{"V1", "no counter-atomic switch while an earlier store's data is not definitely persisted"},
+		{"V2", "no counter-atomic switch while an earlier store's counter is not definitely persisted (garble on crash)"},
+		{"V3", "no in-place transactional mutation before the log seal is definitely persisted"},
+		{"V4", "every store definitely persisted at TxEnd and at end of trace (durability)"},
+	}
 }
 
 // Violation is one invariant breach, anchored to the op that opens the
@@ -135,6 +201,7 @@ func (l *lineState) safe() bool { return l.dataSafe && l.ctrSafe }
 // verifier threads the abstract state through one core's trace.
 type verifier struct {
 	opts  Options
+	model Model
 	isLog func(mem.Addr) bool
 
 	lines     map[mem.Addr]*lineState
@@ -163,8 +230,12 @@ func Verify(tr *trace.Trace, opts Options) Result {
 	}
 	v := &verifier{
 		opts:   opts,
+		model:  Model{CCWBOrdered: true},
 		lines:  make(map[mem.Addr]*lineState),
 		groups: make(map[mem.Addr][]mem.Addr),
+	}
+	if opts.Model != nil {
+		v.model = *opts.Model
 	}
 	switch {
 	case opts.IsLog != nil:
@@ -247,6 +318,11 @@ func (v *verifier) step(tr *trace.Trace, i int, op trace.Op) {
 		}
 	case trace.CCWB:
 		v.classes++
+		if !v.model.CCWBOrdered {
+			// The writeback emits traffic the fence never waits for: no
+			// counter becomes definitely persistent through it.
+			break
+		}
 		g := ctrGroup(op.Addr)
 		for _, a := range v.groups[g] {
 			ls := v.lines[a]
@@ -281,34 +357,32 @@ func (v *verifier) step(tr *trace.Trace, i int, op trace.Op) {
 	}
 }
 
-// applyWrite updates the persist-set facts for a store.
+// applyWrite updates the persist-set facts for a store. The line's
+// atomicity flag is the ENGINE-effective one (a CounterFree engine makes
+// every counter exactly as safe as its data); seal detection keys on the
+// raw software annotation, which is the protocol structure regardless of
+// how the engine persists it.
 func (v *verifier) applyWrite(i int, op trace.Op) {
 	ls := v.line(op.Addr)
 	ls.storedAt = i
-	ls.ca = op.CounterAtomic
+	ls.ca = v.model.atomic(op.CounterAtomic)
 	ls.storeInTx = v.inTx
+	// For an atomic line the counter is exactly as safe as the data,
+	// tracked through the data writeback; for a plain store the counter
+	// bump sits in the volatile counter cache and persists independently.
 	ls.dataSafe = false
 	ls.dataWBAt = -1
-	if op.CounterAtomic {
-		// Data and counter persist atomically: the counter is exactly as
-		// safe as the data, tracked through the data writeback.
-		ls.ctrSafe = false
-		ls.ctrWBAt = -1
-		if v.inTx && v.isLog != nil && v.isLog(op.Addr) {
-			if v.sealSeen && op.Addr.LineAddr() == v.sealLine {
-				// The commit record releases the seal.
-				v.sealSeen = false
-			} else {
-				v.sealSeen = true
-				v.sealLine = op.Addr.LineAddr()
-				v.sealAt = i
-			}
+	ls.ctrSafe = false
+	ls.ctrWBAt = -1
+	if op.CounterAtomic && v.inTx && v.isLog != nil && v.isLog(op.Addr) {
+		if v.sealSeen && op.Addr.LineAddr() == v.sealLine {
+			// The commit record releases the seal.
+			v.sealSeen = false
+		} else {
+			v.sealSeen = true
+			v.sealLine = op.Addr.LineAddr()
+			v.sealAt = i
 		}
-	} else {
-		// A plain store bumps the line's counter in the volatile counter
-		// cache: data and counter now persist independently.
-		ls.ctrSafe = false
-		ls.ctrWBAt = -1
 	}
 }
 

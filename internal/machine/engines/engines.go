@@ -76,6 +76,15 @@ type Engine interface {
 	// rule entirely (0 writes the counter back with every data write).
 	StopLossLimit(cfg *config.Config) int
 
+	// CrashConsistent is the design's crash-consistency claim: whether a
+	// correctly annotated program recovers to a consistent plaintext
+	// image from any crash point. The claim is an input, not a derived
+	// fact — enginecheck verifies it in both directions against the rest
+	// of the policy table (a claiming engine must verify clean under the
+	// V0–V4 invariants; a disclaiming engine must exhibit at least one
+	// violating schedule, otherwise the disclaimer is unjustified).
+	CrashConsistent() bool
+
 	// Recover reconstructs the plaintext view of a post-crash NVM image
 	// the way this design's firmware would, from the completed device
 	// writes. The cost is zero for every engine but Osiris, whose
@@ -114,6 +123,8 @@ type policy struct {
 	ccwbEmit bool // ccwb produces a counter write
 	ccwbWait bool // ccwb blocks the persist barrier
 	stopLoss bool // Osiris stop-loss counter writes
+
+	consistent bool // the design's crash-consistency claim
 }
 
 func (p *policy) Name() string                 { return p.name }
@@ -126,6 +137,7 @@ func (p *policy) FIFOAcceptance() bool         { return p.fifo }
 func (p *policy) PairsEveryWrite() bool        { return p.pairs }
 func (p *policy) CounterWritebackEmits() bool  { return p.ccwbEmit }
 func (p *policy) CounterWritebackBlocks() bool { return p.ccwbWait }
+func (p *policy) CrashConsistent() bool        { return p.consistent }
 
 func (p *policy) WriteIsCounterAtomic(annotated bool) bool {
 	if p.forceCA {
@@ -223,32 +235,36 @@ func recoverOsiris(cfg *config.Config, lay mem.Layout, enc *ctrenc.Engine,
 // The seven concrete engines (paper §6.1 plus the Osiris extension).
 var (
 	// Plaintext is an NVMM system without any encryption.
-	Plaintext Engine = &policy{name: "noenc", design: config.NoEncryption, dropCA: true}
+	Plaintext Engine = &policy{name: "noenc", design: config.NoEncryption,
+		dropCA: true, consistent: true}
 	// Ideal coalesces counters freely and never orders their writebacks;
-	// ccwb emits traffic but the barrier does not wait for it.
+	// ccwb emits traffic but the barrier does not wait for it — which is
+	// exactly why it disclaims crash consistency.
 	Ideal Engine = &policy{name: "ideal", design: config.Ideal,
 		enc: true, cache: true, sep: true, ccwbEmit: true}
 	// CoLocated moves the counter with the data over a widened 72b bus;
 	// atomic by construction, serializing read + decrypt.
 	CoLocated Engine = &policy{name: "colocated", design: config.CoLocated,
-		enc: true, coloc: true, dropCA: true}
+		enc: true, coloc: true, dropCA: true, consistent: true}
 	// CoLocatedCC is CoLocated plus a counter cache, overlapping
 	// decryption of cached counters with the data fetch.
 	CoLocatedCC Engine = &policy{name: "colocatedcc", design: config.CoLocatedCC,
-		enc: true, cache: true, coloc: true, dropCA: true}
+		enc: true, cache: true, coloc: true, dropCA: true, consistent: true}
 	// FCA enforces the ready-bit pairing protocol for every write, in
 	// strict FIFO acceptance order.
 	FCA Engine = &policy{name: "fca", design: config.FCA,
 		enc: true, cache: true, sep: true, fifo: true, pairs: true,
-		forceCA: true, ccwbEmit: true, ccwbWait: true}
+		forceCA: true, ccwbEmit: true, ccwbWait: true, consistent: true}
 	// SCA pays the pairing protocol only for writes annotated
 	// CounterAtomic; everything else coalesces until a ccwb drains it.
 	SCA Engine = &policy{name: "sca", design: config.SCA,
-		enc: true, cache: true, sep: true, ccwbEmit: true, ccwbWait: true}
+		enc: true, cache: true, sep: true, ccwbEmit: true, ccwbWait: true,
+		consistent: true}
 	// Osiris recovers counters from per-line checksums within a
 	// stop-loss window; atomicity is never enforced and ccwb is a no-op.
 	Osiris Engine = &policy{name: "osiris", design: config.Osiris,
-		enc: true, cache: true, sep: true, dropCA: true, stopLoss: true}
+		enc: true, cache: true, sep: true, dropCA: true, stopLoss: true,
+		consistent: true}
 )
 
 // byName indexes the built-in engines.

@@ -72,6 +72,23 @@ func TestWriteIsCounterAtomic(t *testing.T) {
 	}
 }
 
+// Every design but Ideal claims crash consistency; Ideal deliberately
+// disclaims it (ccwb never blocks the barrier). enginecheck verifies the
+// claim against the rest of the table, so this pin keeps the claims from
+// drifting silently.
+func TestCrashConsistencyClaims(t *testing.T) {
+	for _, name := range Names() {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := name != "ideal"
+		if got := e.CrashConsistent(); got != want {
+			t.Errorf("%s: CrashConsistent() = %v, want %v", name, got, want)
+		}
+	}
+}
+
 // Only Osiris runs the stop-loss rule; everyone else reports the -1
 // sentinel that disables the lag tracker entirely.
 func TestStopLossLimit(t *testing.T) {

@@ -63,8 +63,11 @@ type entry struct {
 	eligible bool           // encryption pipeline done; may issue
 	issued   bool           // device write dispatched
 	done     bool           // device write completed
-	deadline sim.Time       // counter entries: must issue by this time
-	sync     func(sim.Time) // extra image bookkeeping at completion
+	deadline sim.Time // counter entries: must issue by this time
+	// syncCtr marks a co-located entry whose 72B access carries its
+	// counter (tag): completion also syncs the image's counter slot. A
+	// flag, not a callback — closures here allocate once per write.
+	syncCtr bool
 }
 
 // writeReq is a write awaiting acceptance.
@@ -416,20 +419,6 @@ func (mc *Controller) tryAccept() {
 		dataUnaccepted := false // an earlier data/CA write is still pending
 		ctrBlocked := false     // an earlier counter write is still pending
 		nBlocked := 0
-		blocked := func(a mem.Addr) bool {
-			for _, b := range blockedLines[:nBlocked] {
-				if b == a {
-					return true
-				}
-			}
-			return false
-		}
-		block := func(a mem.Addr) {
-			if nBlocked < len(blockedLines) && !blocked(a) {
-				blockedLines[nBlocked] = a
-				nBlocked++
-			}
-		}
 
 		// Detach the list: acceptance can enqueue fresh requests
 		// (counter-cache eviction writebacks), which land on the
@@ -470,20 +459,22 @@ func (mc *Controller) tryAccept() {
 				// counter queue only blocks when no such entry exists.
 				haveCtr := len(mc.counterQ) < mc.cfg.CounterWriteQueue ||
 					(!fifo && mc.hasUnissuedCounter(mc.layout.CounterLine(req.addr)))
-				ok = !dataUnaccepted && !ctrBlocked && !blocked(req.addr) &&
+				ok = !dataUnaccepted && !ctrBlocked &&
+					!lineBlocked(blockedLines[:nBlocked], req.addr) &&
 					haveData && haveCtr
 				if !ok {
 					if haveData != haveCtr {
 						mc.st.Inc(stats.ReadyBitWaits, 1)
 					}
 					dataUnaccepted = true
-					block(req.addr)
+					nBlocked = blockLine(&blockedLines, nBlocked, req.addr)
 				}
 			default:
-				ok = !blocked(req.addr) && len(mc.dataQ) < mc.cfg.DataWriteQueue
+				ok = !lineBlocked(blockedLines[:nBlocked], req.addr) &&
+					len(mc.dataQ) < mc.cfg.DataWriteQueue
 				if !ok {
 					dataUnaccepted = true
-					block(req.addr)
+					nBlocked = blockLine(&blockedLines, nBlocked, req.addr)
 				}
 			}
 			if ok {
@@ -508,6 +499,28 @@ func (mc *Controller) tryAccept() {
 			return
 		}
 	}
+}
+
+// lineBlocked reports whether a is in the blocked-line set. A plain
+// function over tryAccept's stack array, not a closure: tryAccept runs
+// once per accepted write and must not allocate.
+func lineBlocked(blocked []mem.Addr, a mem.Addr) bool {
+	for _, b := range blocked {
+		if b == a {
+			return true
+		}
+	}
+	return false
+}
+
+// blockLine adds a to the blocked-line set if there is room, returning
+// the new set size.
+func blockLine(set *[acceptWindow]mem.Addr, n int, a mem.Addr) int {
+	if n < len(set) && !lineBlocked(set[:n], a) {
+		set[n] = a
+		n++
+	}
+	return n
 }
 
 // acceptData admits one data write: encrypt, update the counter state,
@@ -547,8 +560,7 @@ func (mc *Controller) acceptData(req *writeReq) {
 				old.data, old.tag, old.sum = cipher, ctr, sum
 				if mc.meta.CoLocatesCounters() {
 					// The refreshed 72B access carries the new counter.
-					addr, c := req.addr, ctr
-					old.sync = func(at sim.Time) { mc.syncCoLocatedCounter(addr, c, at) }
+					old.syncCtr = true
 				}
 				mc.st.Inc(stats.CoalescedWrites, 1)
 				if req.accepted != nil {
@@ -564,8 +576,7 @@ func (mc *Controller) acceptData(req *writeReq) {
 		// The 72B access carries the counter with the data; reflect
 		// that in the functional image at the same completion instant
 		// so the pair is atomic by construction.
-		addr, c := req.addr, ctr
-		e.sync = func(at sim.Time) { mc.syncCoLocatedCounter(addr, c, at) }
+		e.syncCtr = true
 	}
 	mc.dataQ = append(mc.dataQ, e)
 	mc.makeEligible(e, cryptoDelay)
@@ -706,8 +717,8 @@ func (mc *Controller) issue(e *entry, isData bool) {
 		} else {
 			mc.counterIssued--
 		}
-		if e.sync != nil {
-			e.sync(mc.eng.Now())
+		if e.syncCtr {
+			mc.syncCoLocatedCounter(e.addr, e.tag, mc.eng.Now())
 		}
 		mc.retire(isData)
 	})
@@ -835,10 +846,10 @@ func (mc *Controller) DrainADR(at sim.Time) {
 	for _, e := range mc.dataQ {
 		if !e.done {
 			mc.dev.WriteAt(e.addr, e.data, e.tag, e.sum, at)
-			if e.sync != nil {
+			if e.syncCtr {
 				// Co-located entries carry their counter in the
 				// same 72B access; the drain persists both halves.
-				e.sync(at)
+				mc.syncCoLocatedCounter(e.addr, e.tag, at)
 			}
 		}
 	}
