@@ -29,12 +29,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"encnvm/internal/check"
 	"encnvm/internal/check/verify"
 	"encnvm/internal/crash"
 	"encnvm/internal/machine"
+	"encnvm/internal/perf"
 	"encnvm/internal/persist"
 	"encnvm/internal/workloads"
 )
@@ -51,10 +53,21 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload RNG seed")
 	jobs := flag.Int("j", 0, "concurrent crash-point injections; <= 0 means GOMAXPROCS")
 	schedule := flag.String("schedule", "", "replay a verifier counterexample file and exit")
+	version := flag.Bool("version", false, "print build/version information and exit")
+	perfOpts := perf.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	if *version {
+		perf.PrintVersion(os.Stdout, "crashtest")
+		return
+	}
 	if *schedule != "" {
 		os.Exit(replaySchedule(*schedule))
+	}
+	session, err := perfOpts.Begin("crashtest", os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	var spec *machine.Spec
@@ -93,9 +106,14 @@ func main() {
 	}
 
 	p := workloads.Params{Seed: *seed, Items: *items, Ops: *ops, Legacy: *legacy}
+	if *jobs > 0 {
+		session.SetWorkers(*jobs)
+	} else {
+		session.SetWorkers(runtime.GOMAXPROCS(0))
+	}
 	anyFail := false
 	for _, w := range targets {
-		rep, err := crash.SweepSpecJ(spec, w, p, *points, *jobs)
+		rep, err := crash.SweepSpecJObserved(spec, w, p, *points, *jobs, session.RunnerSink(nil))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -106,6 +124,10 @@ func main() {
 			fmt.Printf("  crash at %10.1f ns: %v (lost counter lines: %d)\n",
 				f.CrashAt.Nanoseconds(), f.Err, f.LostCounterLines)
 		}
+	}
+	if err := session.End(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	if anyFail {
 		os.Exit(1)

@@ -21,10 +21,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"encnvm/internal/exp"
+	"encnvm/internal/perf"
 	"encnvm/internal/probe"
 )
 
@@ -60,8 +62,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	figure := fs.String("figure", "all", "which figure to regenerate (or 'all')")
 	jobs := fs.Int("j", 0, "concurrent simulation cells; <= 0 means GOMAXPROCS")
 	progress := fs.String("progress", "", "append per-cell JSONL progress records to this file")
+	version := fs.Bool("version", false, "print build/version information and exit")
+	perfOpts := perf.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *version {
+		perf.PrintVersion(stdout, "experiments")
+		return 0
 	}
 
 	sc, err := exp.ScaleByName(*scaleName)
@@ -71,6 +79,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	sc.Jobs = *jobs
 
+	session, err := perfOpts.Begin("experiments", args)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if workers := sc.Jobs; workers > 0 {
+		session.SetWorkers(workers)
+	} else {
+		session.SetWorkers(runtime.GOMAXPROCS(0))
+	}
+
 	if *progress != "" {
 		f, err := os.Create(*progress)
 		if err != nil {
@@ -78,8 +97,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		defer f.Close()
-		sc.Progress = probe.RunnerProgress(f)
+		pw := probe.NewProgress(f)
+		defer pw.Close()
+		sc.Progress = pw.OnDone
 	}
+	// The perf session taps the same per-cell stream for its fleet
+	// utilization stats; with profiling off this is a no-op passthrough.
+	sc.Progress = session.RunnerSink(sc.Progress)
 
 	runners := figureRunners(sc, stdout)
 
@@ -108,13 +132,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		start := time.Now()
-		if err := r.fn(); err != nil {
+		reg := perf.Begin("figure/" + r.name)
+		err := r.fn()
+		reg.End()
+		if err != nil {
 			fmt.Fprintf(stderr, "%s: %v\n", r.name, err)
 			return 1
 		}
 		// Wall-clock timing is operational noise: stderr only, so stdout
 		// stays simulated-time figure rows.
 		fmt.Fprintf(stderr, "[%s done in %v]\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+	if err := session.End(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	return 0
 }

@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
 
 	"encnvm/internal/exp"
+	"encnvm/internal/perf"
+	"encnvm/internal/probe"
 )
 
 // Stdout must carry only figure rows: running one figure through the CLI
@@ -109,5 +112,94 @@ func TestProgressSink(t *testing.T) {
 	}
 	if !bytes.Contains(data, []byte(`"cell":"fig12/`)) || !bytes.Contains(data, []byte(`"wall_ms"`)) {
 		t.Errorf("progress file missing cell records:\n%.400s", data)
+	}
+}
+
+// -progress streams must end with the terminal summary record so a
+// consumer can tell a complete stream from a truncated one.
+func TestProgressSummaryRecord(t *testing.T) {
+	path := t.TempDir() + "/progress.jsonl"
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-figure", "fig12", "-scale", "quick", "-progress", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	var last probe.ProgressRecord
+	if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil {
+		t.Fatalf("terminal record: %v\n%s", err, lines[len(lines)-1])
+	}
+	if !last.Summary {
+		t.Fatalf("terminal record is not a summary: %s", lines[len(lines)-1])
+	}
+	if last.Cells != len(lines)-1 || last.OK != last.Cells || last.Failed != 0 {
+		t.Errorf("summary = %+v over %d cell records", last, len(lines)-1)
+	}
+}
+
+// The host-performance sidecar must never perturb the deterministic
+// outputs: stdout with -perf-out (and profiles) enabled is byte-identical
+// to a plain run, and the sidecar itself decodes under its schema.
+func TestPerfSidecarDoesNotPerturbStdout(t *testing.T) {
+	var plain, plainErr bytes.Buffer
+	if code := run([]string{"-figure", "fig12", "-scale", "quick"}, &plain, &plainErr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, plainErr.String())
+	}
+
+	dir := t.TempDir()
+	perfOut := dir + "/perf.json"
+	cpu := dir + "/cpu.pprof"
+	mem := dir + "/mem.pprof"
+	var profiled, profErr bytes.Buffer
+	args := []string{"-figure", "fig12", "-scale", "quick",
+		"-perf-out", perfOut, "-cpuprofile", cpu, "-memprofile", mem}
+	if code := run(args, &profiled, &profErr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, profErr.String())
+	}
+	if !bytes.Equal(plain.Bytes(), profiled.Bytes()) {
+		t.Error("-perf-out/-cpuprofile/-memprofile changed stdout")
+	}
+
+	f, err := os.Open(perfOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := perf.DecodeReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tool != "experiments" || rep.WallMS <= 0 {
+		t.Errorf("report header = %+v", rep)
+	}
+	phases := make(map[string]bool)
+	for _, ph := range rep.Phases {
+		phases[ph.Name] = true
+	}
+	for _, want := range []string{"figure/fig12", "trace-build", "replay"} {
+		if !phases[want] {
+			t.Errorf("phase %q missing from report (got %v)", want, rep.Phases)
+		}
+	}
+	if rep.Runner == nil || rep.Runner.Cells == 0 || rep.Runner.Straggler == "" {
+		t.Errorf("runner fleet stats missing: %+v", rep.Runner)
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-version"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(stdout.String(), "experiments ") {
+		t.Errorf("version output = %q", stdout.String())
 	}
 }

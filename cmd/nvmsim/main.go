@@ -27,6 +27,7 @@ import (
 
 	"encnvm/internal/core"
 	"encnvm/internal/machine"
+	"encnvm/internal/perf"
 	"encnvm/internal/probe"
 	"encnvm/internal/sim"
 	"encnvm/internal/workloads"
@@ -70,7 +71,19 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write windowed JSONL time-series metrics to this file")
 	metricsWindowNS := flag.Uint64("metrics-window-ns", 1000, "metrics window length in simulated nanoseconds")
 	manifestOut := flag.String("manifest-out", "", "write the machine-readable run manifest to this file")
+	version := flag.Bool("version", false, "print build/version information and exit")
+	perfOpts := perf.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	if *version {
+		perf.PrintVersion(os.Stdout, "nvmsim")
+		return
+	}
+	session, err := perfOpts.Begin("nvmsim", os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	spec, err := loadSpec(*specPath, *design, *cores)
 	if err != nil {
@@ -141,6 +154,7 @@ func main() {
 
 	if *manifestOut != "" || *jsonOut {
 		m := core.BuildManifest(res, params.WithDefaults())
+		m.Host = hostBlock()
 		if *manifestOut != "" {
 			f, err := os.Create(*manifestOut)
 			if err == nil {
@@ -184,5 +198,23 @@ func main() {
 	if *showStats && !*jsonOut {
 		fmt.Println("\n--- statistics ---")
 		fmt.Print(res.Stats.String())
+	}
+	if err := session.End(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// hostBlock stamps the manifest's optional provenance block from the
+// running binary's build info.
+func hostBlock() *probe.ManifestHost {
+	b := perf.ReadBuild()
+	return &probe.ManifestHost{
+		GoVersion:   b.GoVersion,
+		Module:      b.Module,
+		Version:     b.Version,
+		VCSRevision: b.VCSRevision,
+		VCSTime:     b.VCSTime,
+		VCSModified: b.VCSModified,
 	}
 }

@@ -68,6 +68,7 @@ import (
 	"encnvm/internal/crash"
 	"encnvm/internal/machine"
 	"encnvm/internal/machine/engines"
+	"encnvm/internal/perf"
 	"encnvm/internal/persist"
 	"encnvm/internal/workloads"
 )
@@ -97,9 +98,14 @@ func main() {
 	mutantsMode := flag.Bool("mutants", false, "self-test: every seeded bad-engine mutant must be caught by an expected rule")
 	allowPath := flag.String("hotalloc-allow", "internal/check/analyzers/hotalloc.allow",
 		"hotalloc: allowlist of known hot-path allocation sites (\"\" for none)")
+	version := flag.Bool("version", false, "print build/version information and exit")
 	flag.Usage = usage
 	flag.Parse()
 
+	if *version {
+		perf.PrintVersion(os.Stdout, "persistcheck")
+		return
+	}
 	if *list {
 		printCatalog()
 		return

@@ -18,16 +18,22 @@ import (
 	"os"
 	"sort"
 
+	"encnvm/internal/perf"
 	"encnvm/internal/probe"
 )
 
 func main() {
 	all := flag.Bool("all", false, "print unchanged rows too")
+	version := flag.Bool("version", false, "print build/version information and exit")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: statdiff [-all] old.manifest.json new.manifest.json")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *version {
+		perf.PrintVersion(os.Stdout, "statdiff")
+		return
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)

@@ -26,6 +26,7 @@ import (
 
 	"encnvm/internal/check"
 	"encnvm/internal/mem"
+	"encnvm/internal/perf"
 	"encnvm/internal/persist"
 	"encnvm/internal/trace"
 	"encnvm/internal/workloads"
@@ -40,6 +41,7 @@ func main() {
 	legacy := flag.Bool("legacy", false, "legacy (pre-paper) persistency primitives")
 	seed := flag.Int64("seed", 42, "workload RNG seed")
 	doCheck := flag.Bool("check", false, "lint the trace against crash-consistency rules R1-R5")
+	version := flag.Bool("version", false, "print build/version information and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: traceinfo [-workload name] [-items N] [-ops N] [-opspertx N]\n"+
@@ -50,6 +52,10 @@ func main() {
 	}
 	flag.Parse()
 
+	if *version {
+		perf.PrintVersion(os.Stdout, "traceinfo")
+		return
+	}
 	w, err := workloads.ByName(*workload)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

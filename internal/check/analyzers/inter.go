@@ -75,6 +75,11 @@ var interScope = map[string]bool{
 	"machine": true, "engines": true, "trace": true, "stats": true,
 	"persist": true, "crash": true, "config": true,
 	"runner": true, "exp": true, "workloads": true,
+	// perf (the host-side phase profiler) stays out: its Region timer
+	// is only reached from per-phase call sites, never per-write, and
+	// the name-based call graph would weld its End/Store/Load method
+	// names onto unrelated hot-path methods. Its zero-allocation
+	// contract is held by testing.AllocsPerRun tests instead.
 }
 
 // InterDirs filters Walk's output down to the interprocedural scope.

@@ -20,6 +20,7 @@ import (
 	"encnvm/internal/config"
 	"encnvm/internal/crash"
 	"encnvm/internal/machine"
+	"encnvm/internal/perf"
 	"encnvm/internal/persist"
 	"encnvm/internal/probe"
 	"encnvm/internal/replay"
@@ -161,7 +162,9 @@ func runSystem(sys *replay.System, workload string, pb *probe.Probe) (Result, er
 	// memory on publication-scale sweeps.
 	sys.Dev.Image().SetRetainLog(false)
 	sys.AttachProbe(pb)
+	r := perf.Begin("replay")
 	rt := sys.Run()
+	r.End()
 	return Result{
 		Design:       sys.Cfg.Design,
 		Workload:     workload,
@@ -180,6 +183,7 @@ func runSystem(sys *replay.System, workload string, pb *probe.Probe) (Result, er
 // NVM image of a completed run — an end-to-end functional check that the
 // whole stack (encryption, queues, flush) preserved the data.
 func VerifyResult(res Result) error {
+	defer perf.Begin("verify").End()
 	w, err := workloads.ByName(res.Workload)
 	if err != nil {
 		return err

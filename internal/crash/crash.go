@@ -24,6 +24,7 @@ import (
 	"encnvm/internal/ctrenc"
 	"encnvm/internal/machine"
 	"encnvm/internal/mem"
+	"encnvm/internal/perf"
 	"encnvm/internal/persist"
 	"encnvm/internal/replay"
 	"encnvm/internal/runner"
@@ -75,6 +76,7 @@ func (r Report) String() string {
 // BuildTraces runs the workload functionally on each core's runtime and
 // returns the per-core traces. Core i uses arena i and seed p.Seed+i.
 func BuildTraces(w workloads.Workload, p workloads.Params, cores int) []*trace.Trace {
+	defer perf.Begin("trace-build").End()
 	traces := make([]*trace.Trace, cores)
 	for i := 0; i < cores; i++ {
 		pc := p
@@ -171,18 +173,24 @@ func InjectSpecAt(spec *machine.Spec, w workloads.Workload, traces []*trace.Trac
 func injectSys(sys *replay.System, w workloads.Workload, traces []*trace.Trace,
 	at sim.Time) (Result, error) {
 
+	rr := perf.Begin("replay")
 	t := sys.RunUntil(at)
 	sys.MC.DrainADR(t)
+	rr.End()
 
 	res := Result{
 		CrashAt:          t,
 		LostCounterLines: len(sys.MC.DirtyCounterLines()),
 	}
+	rc := perf.Begin("recover")
 	writes := sys.Dev.Image().SnapshotWritesAt(t)
 	var space *mem.Space
 	space, res.Osiris = sys.Meta.Recover(sys.Cfg, sys.MC.Layout(), sys.MC.Encryption(), writes)
 	oracle := decryptOracle(sys.MC.Layout(), sys.MC.Encryption(), writes)
+	rc.End()
 
+	rv := perf.Begin("verify")
+	defer rv.End()
 	for i := range traces {
 		arena := persist.ArenaFor(i, DefaultArena)
 		rep := persist.Recover(space, arena)
@@ -274,6 +282,14 @@ func SweepJ(cfg *config.Config, w workloads.Workload, p workloads.Params, n, wor
 // system from the spec, which is read-only throughout.
 func SweepSpecJ(spec *machine.Spec, w workloads.Workload, p workloads.Params,
 	n, workers int) (Report, error) {
+	return SweepSpecJObserved(spec, w, p, n, workers, nil)
+}
+
+// SweepSpecJObserved is SweepSpecJ with a per-cell completion sink
+// (runner.Options.OnDone) attached, so front ends can stream progress
+// or aggregate host-side fleet statistics. A nil onDone is SweepSpecJ.
+func SweepSpecJObserved(spec *machine.Spec, w workloads.Workload, p workloads.Params,
+	n, workers int, onDone func(runner.Progress)) (Report, error) {
 
 	cfg, err := spec.Config()
 	if err != nil {
@@ -301,7 +317,7 @@ func SweepSpecJ(spec *machine.Spec, w workloads.Workload, p workloads.Params,
 		func(_ context.Context, at sim.Time) (Result, error) {
 			return InjectSpecAt(spec, w, traces, at)
 		},
-		runner.Options{Workers: workers, Label: func(i int) string {
+		runner.Options{Workers: workers, OnDone: onDone, Label: func(i int) string {
 			return fmt.Sprintf("sweep/%s/%s/point%d", spec.Name, w.Name(), i)
 		}})
 	for _, r := range rs {

@@ -57,12 +57,12 @@ type entry struct {
 	addr     mem.Addr
 	data     mem.Line
 	nbytes   int
-	tag      uint64         // encryption counter (ground truth for the harness)
-	sum      uint16         // plaintext checksum (the persisted ECC model)
-	ca       bool           // counter-atomic data write (never coalesced)
-	eligible bool           // encryption pipeline done; may issue
-	issued   bool           // device write dispatched
-	done     bool           // device write completed
+	tag      uint64   // encryption counter (ground truth for the harness)
+	sum      uint16   // plaintext checksum (the persisted ECC model)
+	ca       bool     // counter-atomic data write (never coalesced)
+	eligible bool     // encryption pipeline done; may issue
+	issued   bool     // device write dispatched
+	done     bool     // device write completed
 	deadline sim.Time // counter entries: must issue by this time
 	// syncCtr marks a co-located entry whose 72B access carries its
 	// counter (tag): completion also syncs the image's counter slot. A
@@ -98,6 +98,13 @@ type Controller struct {
 	counterQ  []*entry
 	pending   []*writeReq // FIFO accept queue (backpressure)
 	accepting bool        // reentrancy guard for tryAccept
+
+	// entryPool recycles queue entries (ROADMAP item 2: entry pooling).
+	// The queues are bounded by the configured capacities, so New
+	// pre-allocates one slab covering both; retire returns entries here
+	// and the accept path reuses them, making the steady-state write
+	// path free of per-write entry allocations.
+	entryPool []*entry
 
 	// pb, when non-nil, receives acceptance spans, encryption-pipeline
 	// occupancy, and queue-depth samples. Nil by default (one nil check
@@ -143,7 +150,66 @@ func New(eng *sim.Engine, cfg *config.Config, meta engines.Engine, dev *nvm.Devi
 	if mc.stopLossLimit >= 0 {
 		mc.stopLossLag = make(map[mem.Addr]int)
 	}
+	// Pre-size the queues to their configured capacities and carve the
+	// entry pool out of one slab, so the steady-state accept/retire
+	// cycle never allocates.
+	mc.dataQ = make([]*entry, 0, cfg.DataWriteQueue)
+	mc.counterQ = make([]*entry, 0, cfg.CounterWriteQueue)
+	slab := make([]entry, cfg.DataWriteQueue+cfg.CounterWriteQueue)
+	mc.entryPool = make([]*entry, len(slab))
+	for i := range slab {
+		mc.entryPool[i] = &slab[i]
+	}
 	return mc
+}
+
+// getEntry takes a zeroed entry from the pool, falling back to the heap
+// when the pool is empty (possible only when stop-loss counter writes
+// push the counter queue past its nominal capacity).
+func (mc *Controller) getEntry() *entry {
+	if n := len(mc.entryPool); n > 0 {
+		e := mc.entryPool[n-1]
+		mc.entryPool[n-1] = nil
+		mc.entryPool = mc.entryPool[:n-1]
+		return e
+	}
+	return mc.newEntry()
+}
+
+// newEntry is the pool-miss path, kept separate so the allocation has
+// one named site (hotalloc allowlist: the pool bounds it to queue
+// overflow, not one per write).
+func (mc *Controller) newEntry() *entry { return new(entry) }
+
+// putEntry zeroes a retired entry and returns it to the pool. Entries
+// beyond the pool's capacity (stop-loss overflow) are dropped for the
+// GC to collect.
+func (mc *Controller) putEntry(e *entry) {
+	*e = entry{}
+	if n := len(mc.entryPool); n < cap(mc.entryPool) {
+		mc.entryPool = mc.entryPool[:n+1]
+		mc.entryPool[n] = e
+	}
+}
+
+// pushData appends e to the data queue. Acceptance checks capacity
+// first, so this never grows the pre-sized backing array.
+func (mc *Controller) pushData(e *entry) {
+	n := len(mc.dataQ)
+	mc.dataQ = mc.dataQ[:n+1]
+	mc.dataQ[n] = e
+}
+
+// pushCounter appends e to the counter queue, growing only on stop-loss
+// overflow past the configured capacity.
+func (mc *Controller) pushCounter(e *entry) {
+	n := len(mc.counterQ)
+	if n < cap(mc.counterQ) {
+		mc.counterQ = mc.counterQ[:n+1]
+		mc.counterQ[n] = e
+		return
+	}
+	mc.counterQ = append(mc.counterQ, e)
 }
 
 // Meta returns the metadata engine the controller was built with.
@@ -571,14 +637,15 @@ func (mc *Controller) acceptData(req *writeReq) {
 		}
 	}
 
-	e := &entry{addr: req.addr, data: cipher, nbytes: mc.cfg.AccessBytes(), tag: ctr, sum: sum, ca: req.ca}
+	e := mc.getEntry()
+	e.addr, e.data, e.nbytes, e.tag, e.sum, e.ca = req.addr, cipher, mc.cfg.AccessBytes(), ctr, sum, req.ca
 	if mc.meta.CoLocatesCounters() {
 		// The 72B access carries the counter with the data; reflect
 		// that in the functional image at the same completion instant
 		// so the pair is atomic by construction.
 		e.syncCtr = true
 	}
-	mc.dataQ = append(mc.dataQ, e)
+	mc.pushData(e)
 	mc.makeEligible(e, cryptoDelay)
 
 	if req.ca {
@@ -589,9 +656,10 @@ func (mc *Controller) acceptData(req *writeReq) {
 			// coalesces. This is what doubles FCA's write traffic
 			// (§4.1) and keeps its 16-entry counter queue under
 			// pressure (Fig. 7a's serialization).
-			ce := &entry{addr: cl, data: mc.packCounterLine(cl), nbytes: 64, ca: true,
-				deadline: mc.eng.Now() + cryptoDelay}
-			mc.counterQ = append(mc.counterQ, ce)
+			ce := mc.getEntry()
+			ce.addr, ce.data, ce.nbytes, ce.ca = cl, mc.packCounterLine(cl), 64, true
+			ce.deadline = mc.eng.Now() + cryptoDelay
+			mc.pushCounter(ce)
 			mc.makeEligible(ce, cryptoDelay)
 		} else {
 			mc.queueCounterEntry(cl, cryptoDelay)
@@ -645,9 +713,10 @@ func (mc *Controller) queueCounterEntry(cl mem.Addr, cryptoDelay sim.Time) {
 			return
 		}
 	}
-	e := &entry{addr: cl, data: mc.packCounterLine(cl), nbytes: 64,
-		deadline: mc.eng.Now() + cryptoDelay + counterLinger}
-	mc.counterQ = append(mc.counterQ, e)
+	e := mc.getEntry()
+	e.addr, e.data, e.nbytes = cl, mc.packCounterLine(cl), 64
+	e.deadline = mc.eng.Now() + cryptoDelay + counterLinger
+	mc.pushCounter(e)
 	mc.makeEligible(e, cryptoDelay)
 	// The deadline event guarantees the entry eventually issues even if
 	// nothing else stirs the scheduler.
@@ -724,22 +793,31 @@ func (mc *Controller) issue(e *entry, isData bool) {
 	})
 }
 
-// retire drops completed entries, re-runs the issue scheduler and
-// acceptance (capacity may have freed).
+// retire drops completed entries back into the pool, then re-runs the
+// issue scheduler and acceptance (capacity may have freed). In-place
+// index compaction, not append: retire runs once per device completion
+// and must not allocate.
 func (mc *Controller) retire(isData bool) {
-	compact := func(q []*entry) []*entry {
-		out := q[:0]
-		for _, e := range q {
-			if !e.done {
-				out = append(out, e)
-			}
+	q := mc.dataQ
+	if !isData {
+		q = mc.counterQ
+	}
+	n := 0
+	for _, e := range q {
+		if e.done {
+			mc.putEntry(e)
+		} else {
+			q[n] = e
+			n++
 		}
-		return out
+	}
+	for i := n; i < len(q); i++ {
+		q[i] = nil
 	}
 	if isData {
-		mc.dataQ = compact(mc.dataQ)
+		mc.dataQ = q[:n]
 	} else {
-		mc.counterQ = compact(mc.counterQ)
+		mc.counterQ = q[:n]
 	}
 	mc.tryIssue()
 	mc.tryAccept()

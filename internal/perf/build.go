@@ -1,0 +1,65 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Build is the provenance block stamped into perf reports, BENCH.json
+// files, and the optional manifest host block: enough to answer "which
+// binary measured this" long after the working tree moved on.
+type Build struct {
+	GoVersion   string `json:"go_version"`
+	Module      string `json:"module,omitempty"`
+	Version     string `json:"version,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+// ReadBuild collects provenance from the running binary. Fields missing
+// from the build info (e.g. VCS stamps under plain `go test`) are left
+// empty rather than guessed.
+func ReadBuild() *Build {
+	b := &Build{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Module = info.Main.Path
+	b.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.VCSRevision = s.Value
+		case "vcs.time":
+			b.VCSTime = s.Value
+		case "vcs.modified":
+			b.VCSModified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// PrintVersion writes the -version line shared by all CLIs.
+func PrintVersion(w io.Writer, tool string) {
+	b := ReadBuild()
+	rev := b.VCSRevision
+	if rev == "" {
+		rev = "unknown"
+	} else {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if b.VCSModified {
+			rev += "+dirty"
+		}
+	}
+	ver := b.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	fmt.Fprintf(w, "%s %s (%s, rev %s)\n", tool, ver, b.GoVersion, rev)
+}

@@ -1,0 +1,218 @@
+package perf
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"encnvm/internal/runner"
+)
+
+// Options is the shared profiling flag set. Every profiling-capable CLI
+// (nvmsim, experiments, crashtest) registers the same three flags
+// through RegisterFlags so the workflow is identical everywhere.
+type Options struct {
+	CPUProfile string
+	MemProfile string
+	PerfOut    string
+}
+
+// RegisterFlags installs -cpuprofile, -memprofile and -perf-out on fs.
+func RegisterFlags(fs *flag.FlagSet) *Options {
+	o := &Options{}
+	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to `file` (inspect with go tool pprof)")
+	fs.StringVar(&o.MemProfile, "memprofile", "", "write a pprof heap profile to `file` at exit")
+	fs.StringVar(&o.PerfOut, "perf-out", "", "write an encnvm/perf-report/v1 host-performance JSON sidecar to `file`")
+	return o
+}
+
+// Enabled reports whether any collector was requested.
+func (o *Options) Enabled() bool {
+	return o != nil && (o.CPUProfile != "" || o.MemProfile != "" || o.PerfOut != "")
+}
+
+// Session is one profiled CLI run: Begin starts the requested
+// collectors, End flushes them. A nil session (profiling off) no-ops
+// everywhere, so call sites need no conditionals.
+type Session struct {
+	opts  *Options
+	tool  string
+	args  []string
+	start time.Time
+	prof  *Profiler
+	m0    runtime.MemStats
+	cpu   *os.File
+
+	mu     sync.Mutex
+	runner *RunnerStats
+	first  time.Time // first cell completion
+	last   time.Time // latest cell completion
+}
+
+// Begin starts the collectors selected in o. It returns nil (a valid
+// no-op session) when nothing was requested. args are recorded in the
+// report for provenance; pass the post-parse flag residue or nil.
+func (o *Options) Begin(tool string, args []string) (*Session, error) {
+	if !o.Enabled() {
+		return nil, nil
+	}
+	s := &Session{opts: o, tool: tool, args: args, start: time.Now()}
+	if o.PerfOut != "" {
+		s.prof = NewProfiler()
+		SetActive(s.prof)
+		runtime.ReadMemStats(&s.m0)
+	}
+	if o.CPUProfile != "" {
+		f, err := os.Create(o.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		s.cpu = f
+	}
+	return s, nil
+}
+
+// Profiler returns the session's phase profiler (nil unless -perf-out).
+func (s *Session) Profiler() *Profiler {
+	if s == nil {
+		return nil
+	}
+	return s.prof
+}
+
+// SetWorkers records the -j value for the utilization computation.
+func (s *Session) SetWorkers(n int) {
+	if s == nil || s.prof == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.runner == nil {
+		s.runner = &RunnerStats{}
+	}
+	s.runner.Workers = n
+	s.mu.Unlock()
+}
+
+// RunnerSink chains the session's fleet aggregation onto next (which
+// may be nil): the returned function is handed to runner.Options.OnDone
+// and feeds the report's worker utilization / straggler stats. With
+// profiling off it returns next unchanged, preserving the exact
+// behavior of an unprofiled run.
+func (s *Session) RunnerSink(next func(runner.Progress)) func(runner.Progress) {
+	if s == nil || s.prof == nil {
+		return next
+	}
+	return func(rec runner.Progress) {
+		now := time.Now()
+		s.mu.Lock()
+		if s.runner == nil {
+			s.runner = &RunnerStats{}
+		}
+		r := s.runner
+		r.Cells++
+		if rec.Err != nil {
+			r.Failed++
+		} else {
+			r.OK++
+		}
+		wallMS := float64(rec.Wall) / float64(time.Millisecond)
+		r.CellWallMSTotal += wallMS
+		if wallMS > r.StragglerWallMS {
+			r.StragglerWallMS = wallMS
+			r.Straggler = rec.Label
+		}
+		if s.first.IsZero() {
+			s.first = now.Add(-rec.Wall) // approx. first cell start
+		}
+		s.last = now
+		s.mu.Unlock()
+		if next != nil {
+			next(rec)
+		}
+	}
+}
+
+// End stops the collectors and writes the requested outputs. Safe on a
+// nil session. The perf sidecar is written last so a crash mid-End
+// never leaves a schema-tagged but truncated report behind.
+func (s *Session) End() error {
+	if s == nil {
+		return nil
+	}
+	if s.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpu.Close(); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if s.opts.MemProfile != "" {
+		f, err := os.Create(s.opts.MemProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		runtime.GC() // settle the heap so the profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	if s.opts.PerfOut == "" {
+		return nil
+	}
+	SetActive(nil)
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	rep := &Report{
+		Tool:   s.tool,
+		Args:   s.args,
+		Build:  ReadBuild(),
+		WallMS: float64(time.Since(s.start)) / float64(time.Millisecond),
+		Phases: s.prof.Phases(),
+		Host: HostStats{
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			NumCPU:      runtime.NumCPU(),
+			AllocBytes:  m1.TotalAlloc - s.m0.TotalAlloc,
+			Mallocs:     m1.Mallocs - s.m0.Mallocs,
+			Frees:       m1.Frees - s.m0.Frees,
+			GCCycles:    m1.NumGC - s.m0.NumGC,
+			GCPauseMS:   float64(m1.PauseTotalNs-s.m0.PauseTotalNs) / 1e6,
+			HeapInUse:   m1.HeapInuse,
+			SysBytes:    m1.Sys,
+			GoroutineHW: s.prof.GoroutineHighWater(),
+		},
+	}
+	s.mu.Lock()
+	if r := s.runner; r != nil {
+		if !s.first.IsZero() && s.last.After(s.first) {
+			r.SpanMS = float64(s.last.Sub(s.first)) / float64(time.Millisecond)
+			if r.Workers > 0 && r.SpanMS > 0 {
+				r.Utilization = r.CellWallMSTotal / (float64(r.Workers) * r.SpanMS)
+			}
+		}
+		rep.Runner = r
+	}
+	s.mu.Unlock()
+	f, err := os.Create(s.opts.PerfOut)
+	if err != nil {
+		return fmt.Errorf("perf-out: %w", err)
+	}
+	if err := EncodeReport(f, rep); err != nil {
+		f.Close()
+		return fmt.Errorf("perf-out: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("perf-out: %w", err)
+	}
+	return nil
+}

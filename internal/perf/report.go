@@ -1,0 +1,97 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReportSchema tags the perf sidecar format. Unlike the run manifest
+// (encnvm/run-manifest/v2), a perf report is *about the host*: wall
+// clock, allocator traffic, worker utilization. Two runs of the same
+// experiment produce different reports on purpose, so the report lives
+// in its own file and never inside a deterministic artifact.
+const ReportSchema = "encnvm/perf-report/v1"
+
+// Report is the -perf-out JSON sidecar.
+type Report struct {
+	Schema string   `json:"schema"`
+	Tool   string   `json:"tool"`
+	Args   []string `json:"args,omitempty"`
+	Build  *Build   `json:"build,omitempty"`
+
+	// WallMS is the whole session, Begin to End.
+	WallMS float64 `json:"wall_ms"`
+
+	// Phases is the phase profiler's breakdown, in first-use order.
+	// Concurrent phases (runner cells replaying in parallel) can sum to
+	// more than WallMS; that surplus is the parallel speedup.
+	Phases []PhaseStat `json:"phases,omitempty"`
+
+	Host   HostStats    `json:"host"`
+	Runner *RunnerStats `json:"runner,omitempty"`
+}
+
+// PhaseStat is one named phase's accumulated wall-clock cost.
+type PhaseStat struct {
+	Name   string  `json:"name"`
+	Count  uint64  `json:"count"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+// HostStats records the Go runtime's view of the session: MemStats
+// deltas between Begin and End plus process shape.
+type HostStats struct {
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
+	AllocBytes  uint64  `json:"alloc_bytes"` // TotalAlloc delta
+	Mallocs     uint64  `json:"mallocs"`     // delta
+	Frees       uint64  `json:"frees"`       // delta
+	GCCycles    uint32  `json:"gc_cycles"`   // NumGC delta
+	GCPauseMS   float64 `json:"gc_pause_ms"` // PauseTotalNs delta
+	HeapInUse   uint64  `json:"heap_in_use_bytes"`
+	SysBytes    uint64  `json:"sys_bytes"`
+	GoroutineHW int     `json:"goroutine_high_water,omitempty"`
+}
+
+// RunnerStats aggregates the per-cell runner.Progress stream: fleet
+// size, failures, and how evenly the work spread over the workers.
+type RunnerStats struct {
+	Cells  int `json:"cells"`
+	OK     int `json:"ok"`
+	Failed int `json:"failed"`
+
+	// CellWallMSTotal is the sum of per-cell wall times — the serial
+	// cost of the fleet. SpanMS is the first-to-last wall-clock span in
+	// which cells completed; Utilization is total/(workers*span), 1.0
+	// meaning every worker was busy the whole span.
+	CellWallMSTotal float64 `json:"cell_wall_ms_total"`
+	SpanMS          float64 `json:"span_ms"`
+	Workers         int     `json:"workers,omitempty"`
+	Utilization     float64 `json:"utilization,omitempty"`
+
+	// Straggler is the slowest cell: the lower bound on any further -j
+	// speedup.
+	Straggler       string  `json:"straggler,omitempty"`
+	StragglerWallMS float64 `json:"straggler_wall_ms,omitempty"`
+}
+
+// EncodeReport writes r as indented JSON.
+func EncodeReport(w io.Writer, r *Report) error {
+	r.Schema = ReportSchema
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// DecodeReport reads a report and checks its schema tag.
+func DecodeReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("perf report: %w", err)
+	}
+	if rep.Schema != ReportSchema {
+		return nil, fmt.Errorf("perf report: schema %q, want %q", rep.Schema, ReportSchema)
+	}
+	return &rep, nil
+}

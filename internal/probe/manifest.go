@@ -38,6 +38,12 @@ type Manifest struct {
 	Machine *ManifestSpec  `json:"machine,omitempty"`
 	Config  ManifestConfig `json:"config"`
 	Results ManifestResult `json:"results"`
+	// Host, when present, records which binary produced the manifest
+	// (go version, module version, VCS revision). It is provenance, not
+	// measurement: constant for a given build, so byte-determinism
+	// across runs of one binary still holds, and statdiff decodes but
+	// never compares it.
+	Host *ManifestHost `json:"host,omitempty"`
 	// Counters holds every stats event counter by name.
 	Counters map[string]uint64 `json:"counters"`
 	// TimesPs holds every accumulated stats time bucket, in picoseconds.
@@ -78,6 +84,18 @@ type ManifestSpec struct {
 	StopLoss          int     `json:"stop_loss,omitempty"`
 	ReadLatencyX      float64 `json:"read_latency_x,omitempty"`
 	WriteLatencyX     float64 `json:"write_latency_x,omitempty"`
+}
+
+// ManifestHost is the optional build-provenance block. It mirrors
+// perf.Build field for field (probe sits below perf in the import
+// graph, like the ManifestSpec mirror of machine.Spec).
+type ManifestHost struct {
+	GoVersion   string `json:"go_version"`
+	Module      string `json:"module,omitempty"`
+	Version     string `json:"version,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
 }
 
 // ManifestConfig records the simulated hardware configuration knobs that

@@ -11,8 +11,6 @@
 // deterministic and therefore directly comparable across designs.
 package sim
 
-import "container/heap"
-
 // Time is a simulated instant or duration in picoseconds.
 type Time uint64
 
@@ -28,31 +26,75 @@ const (
 // Nanoseconds reports t as a floating point number of nanoseconds.
 func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are stored by value in the
+// engine's queue: scheduling allocates nothing beyond the queue's
+// amortized growth, which is what lets the hot loop schedule events
+// without a per-event heap object (ROADMAP item 2).
 type event struct {
 	at  Time
 	seq uint64 // insertion order, breaks ties deterministically
 	fn  func()
 }
 
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before reports whether e fires before o: a min ordering on (at, seq).
+// Because seq is unique this is a strict total order, so the pop
+// sequence — and with it every simulation output — is independent of
+// the heap's internal shape.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return q[i].seq < q[j].seq
+	return e.seq < o.seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
+
+// eventQueue is an inline binary min-heap of events by value, ordered by
+// (at, seq). It replaces container/heap over []*event: the interface
+// boxing and the per-event heap allocation are gone, so push/pop touch
+// only the backing array.
+type eventQueue []event
+
+// siftUp restores the heap property after q[i] was appended.
+func (q eventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q[i].before(&q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// siftDown restores the heap property after q[0] was replaced.
+func (q eventQueue) siftDown() {
+	i := 0
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && q[r].before(&q[l]) {
+			min = r
+		}
+		if !q[min].before(&q[i]) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+}
+
+// pop removes and returns the earliest event.
+func (q *eventQueue) pop() event {
 	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+	e := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{} // release the fn reference for the GC
+	*q = old[:n]
+	old[:n].siftDown()
 	return e
 }
 
@@ -103,7 +145,8 @@ func (e *Engine) At(t Time, fn func()) {
 		panic("sim: scheduling event in the past")
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	e.queue = append(e.queue, event{at: t, seq: e.seq, fn: fn})
+	e.queue.siftUp(len(e.queue) - 1)
 }
 
 // Run executes events until the queue is empty or Stop is called. It returns
@@ -111,7 +154,7 @@ func (e *Engine) At(t Time, fn func()) {
 func (e *Engine) Run() Time {
 	e.stopped = false
 	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.queue.pop()
 		e.advanceTo(ev.at)
 		e.steps++
 		ev.fn()
@@ -129,7 +172,7 @@ func (e *Engine) RunUntil(deadline Time) Time {
 			e.advanceTo(deadline)
 			return e.now
 		}
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.queue.pop()
 		e.advanceTo(ev.at)
 		e.steps++
 		ev.fn()
