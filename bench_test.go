@@ -16,6 +16,7 @@ import (
 	"encnvm/internal/crash"
 	"encnvm/internal/ctrenc"
 	"encnvm/internal/exp"
+	"encnvm/internal/machine"
 	"encnvm/internal/mem"
 	"encnvm/internal/probe"
 	"encnvm/internal/sim"
@@ -321,4 +322,37 @@ func BenchmarkReplayObserved(b *testing.B) {
 			run(b, probe.New().AttachMetrics(io.Discard, sim.Microsecond))
 		}
 	})
+}
+
+// BenchmarkCrashCampaign measures the per-op crash-point campaign in
+// both modes on one workload: the pruned/exhaustive ns gap is the
+// payoff of the static crash-equivalence analysis, and the reported
+// injection count is the work it avoided. Allocation figures are
+// machine-independent (deterministic workload), so the CI campaign job
+// gates them against the checked-in BENCH_pr8.json.
+func BenchmarkCrashCampaign(b *testing.B) {
+	spec, err := machine.ByName("sca")
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, _ := workloads.ByName("queue")
+	p := workloads.Params{Seed: 1, Items: 6, Ops: 6, OpsPerTx: 1}
+	for _, mode := range []struct {
+		name   string
+		pruned bool
+	}{{"exhaustive", false}, {"pruned", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var rep crash.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = crash.SweepPerOpJ(spec, w, p, 0, mode.pruned)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.Simulated), "injections")
+			b.ReportMetric(100*rep.PrunedFraction, "pruned_%")
+		})
+	}
 }

@@ -6,11 +6,24 @@
 //
 //	crashtest [-design sca] [-workload all] [-points 32] [-legacy] [-cores 1] [-j N]
 //	crashtest -spec machine.json [-workload all] ...
+//	crashtest -campaign [-exhaustive] [-validate-classes K] [-checkpoint f.jsonl] [-resume]
 //	crashtest -schedule counterexample.json
 //
 // Crash points are independent injections (each builds its own engine
 // over the shared read-only traces), so sweeps fan out over -j workers
 // (default GOMAXPROCS); the report is identical for every -j.
+//
+// With -campaign the sweep covers the per-op crash-point space (every
+// gap between retired ops) instead of the evenly-spaced grid, pruned by
+// the static crash-equivalence partition unless -exhaustive: only one
+// representative per epoch-refined class is simulated and its verdict
+// attributed to the whole class. -validate-classes K re-simulates up to
+// K non-representative members per class and fails on divergence.
+// -checkpoint streams per-class verdicts to a JSONL file as they
+// complete; a killed campaign restarts from it with -resume instead of
+// re-simulating. -campaign-out writes the schema-tagged JSON campaign
+// report. Exit status: 0 all consistent, 1 violations, 2 usage, 3
+// halted by -halt-after (checkpoint intact).
 //
 // With -legacy the workload uses pre-paper persistency primitives (no
 // counter_cache_writeback, no CounterAtomic), reproducing the §2.2
@@ -26,11 +39,14 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"encnvm/internal/check"
 	"encnvm/internal/check/verify"
@@ -52,6 +68,15 @@ func main() {
 	ops := flag.Int("ops", 48, "operations per core")
 	seed := flag.Int64("seed", 42, "workload RNG seed")
 	jobs := flag.Int("j", 0, "concurrent crash-point injections; <= 0 means GOMAXPROCS")
+	campaign := flag.Bool("campaign", false, "sweep the per-op crash-point space (class-pruned; see -exhaustive)")
+	exhaustive := flag.Bool("exhaustive", false, "campaign: simulate every gap instead of class representatives")
+	validateClasses := flag.Int("validate-classes", 0, "campaign: re-simulate up to K members per class, fail on divergence")
+	validateSeed := flag.Int64("validate-seed", 1, "campaign: member-sampling seed")
+	checkpoint := flag.String("checkpoint", "", "campaign: stream per-class verdicts to this JSONL file")
+	checkpointEvery := flag.Int("checkpoint-every", 1, "campaign: flush the checkpoint after this many classes")
+	resume := flag.Bool("resume", false, "campaign: resume from -checkpoint, skipping completed classes")
+	campaignOut := flag.String("campaign-out", "", "campaign: write the JSON campaign report here ('-' for stdout)")
+	haltAfter := flag.Int("halt-after", 0, "campaign: halt after N newly simulated classes (exit 3; kill/resume testing)")
 	schedule := flag.String("schedule", "", "replay a verifier counterexample file and exit")
 	version := flag.Bool("version", false, "print build/version information and exit")
 	perfOpts := perf.RegisterFlags(flag.CommandLine)
@@ -105,6 +130,16 @@ func main() {
 		targets = []workloads.Workload{w}
 	}
 
+	if !*campaign && (*exhaustive || *validateClasses > 0 || *checkpoint != "" ||
+		*resume || *campaignOut != "" || *haltAfter > 0) {
+		fmt.Fprintln(os.Stderr, "crashtest: campaign flags need -campaign")
+		os.Exit(2)
+	}
+	if len(targets) > 1 && (*checkpoint != "" || *campaignOut != "") {
+		fmt.Fprintln(os.Stderr, "crashtest: -checkpoint/-campaign-out cover one campaign; pick a single -workload")
+		os.Exit(2)
+	}
+
 	p := workloads.Params{Seed: *seed, Items: *items, Ops: *ops, Legacy: *legacy}
 	if *jobs > 0 {
 		session.SetWorkers(*jobs)
@@ -113,16 +148,51 @@ func main() {
 	}
 	anyFail := false
 	for _, w := range targets {
-		rep, err := crash.SweepSpecJObserved(spec, w, p, *points, *jobs, session.RunnerSink(nil))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		var rep crash.Report
+		var err error
+		if *campaign {
+			copts := crash.CampaignOptions{
+				Workers:         *jobs,
+				Pruned:          !*exhaustive,
+				ValidateMembers: *validateClasses,
+				ValidateSeed:    *validateSeed,
+				CheckpointPath:  *checkpoint,
+				CheckpointEvery: *checkpointEvery,
+				Resume:          *resume,
+				HaltAfter:       *haltAfter,
+				OnDone:          session.RunnerSink(nil),
+			}
+			start := time.Now()
+			run, rerr := crash.RunCampaign(spec, w, p, copts)
+			if errors.Is(rerr, crash.ErrCampaignHalted) {
+				fmt.Fprintln(os.Stderr, rerr)
+				session.End()
+				os.Exit(3)
+			}
+			if rerr != nil {
+				fmt.Fprintln(os.Stderr, rerr)
+				os.Exit(1)
+			}
+			run.Campaign.WallMS = time.Since(start).Milliseconds()
+			rep = run.Report
+			fmt.Printf("%v  classes: %d, cells: %d, simulated: %d, pruned: %d (%.1f%%)\n",
+				rep, rep.Classes, rep.Cells, rep.Simulated, rep.Pruned, 100*rep.PrunedFraction)
+			if err := writeCampaignReport(*campaignOut, &run.Campaign); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		} else {
+			rep, err = crash.SweepSpecJObserved(spec, w, p, *points, *jobs, session.RunnerSink(nil))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(rep)
 		}
-		fmt.Println(rep)
 		for _, f := range rep.Failures() {
 			anyFail = true
-			fmt.Printf("  crash at %10.1f ns: %v (lost counter lines: %d)\n",
-				f.CrashAt.Nanoseconds(), f.Err, f.LostCounterLines)
+			fmt.Printf("  crash at %10.1f ns: %s (lost counter lines: %d)\n",
+				f.CrashAt.Nanoseconds(), f.Error, f.LostCounterLines)
 		}
 	}
 	if err := session.End(); err != nil {
@@ -133,6 +203,26 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("every crash point recovered consistently")
+}
+
+// writeCampaignReport emits the schema-tagged campaign report to the
+// given path ("-" for stdout, "" for nowhere).
+func writeCampaignReport(path string, camp *crash.CampaignReport) error {
+	if path == "" {
+		return nil
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(camp)
 }
 
 // replaySchedule rebuilds the trace a counterexample file describes and

@@ -92,6 +92,15 @@ type Options struct {
 	// where only annotated stores persist atomically and ccwb is
 	// fence-ordered — which is the machine the trace IR was recorded on.
 	Model *Model
+	// OnClass, when non-nil, receives one ClassState per crash-point
+	// equivalence class, in class order: the initial class before any op
+	// (OpIndex -1), then one per class-opening op (Write/Clwb/CCWB/
+	// Sfence), snapshotted AFTER the op's persist-set effects applied —
+	// the abstract state every crash point in the class observes. This
+	// is how the class enumeration that drives V1–V4 is exported to the
+	// pruning analysis (internal/check/prune) instead of being discarded
+	// when verification ends.
+	OnClass func(ClassState)
 }
 
 // Model abstracts over the persistence semantics that differ between
@@ -134,6 +143,98 @@ func (m Model) atomic(annotated bool) bool {
 		return m.AtomicWrite(annotated)
 	}
 	return annotated
+}
+
+// Fact is the abstract persistence state of one dimension (data or
+// counter) of one line, as the invariants observe it.
+type Fact string
+
+// The three persist-set facts. Volatile: NVM definitely does not hold
+// the latest value through any tracked writeback (an eviction may still
+// land it at any time — that is what makes a store possibly-persisted).
+// InFlight: a writeback was issued and is independently landed-or-lost
+// at a crash. Definite: a retired sfence made the value durable.
+const (
+	FactVolatile Fact = "volatile"
+	FactInFlight Fact = "in-flight"
+	FactDefinite Fact = "definite"
+)
+
+// LineFact is the per-line certificate row: everything the invariants
+// can observe about one line inside one equivalence class.
+type LineFact struct {
+	Addr     uint64 `json:"addr"`
+	StoredAt int    `json:"storedAt"`         // op index of the latest store
+	Atomic   bool   `json:"atomic,omitempty"` // engine-effective counter atomicity
+	InTx     bool   `json:"inTx,omitempty"`   // latest store inside the open tx
+	Data     Fact   `json:"data"`
+	Counter  Fact   `json:"counter"`
+}
+
+// ClassState is the abstract machine state that justifies merging every
+// crash point of one equivalence class: the per-line persist-set facts
+// (sorted by address), the epoch ordinal, and the transaction/seal
+// context. Crash points between the class-opening op and the next
+// class-opening op observe exactly this state, which is the certificate
+// internal/check/prune serializes and re-checks.
+type ClassState struct {
+	Index    int        `json:"class"`
+	OpIndex  int        `json:"op"`                 // class-opening op (-1: before any op)
+	Boundary string     `json:"boundary"`           // opening op kind ("start" for the initial class)
+	Epoch    int        `json:"epoch"`              // sfence-delimited persist window ordinal
+	InTx     bool       `json:"inTx,omitempty"`     // a transaction is open
+	SealOpen bool       `json:"sealOpen,omitempty"` // an unreleased log seal exists
+	SealAddr uint64     `json:"sealAddr,omitempty"` // its line (SealOpen only)
+	SealAt   int        `json:"sealAt,omitempty"`   // its op index (SealOpen only)
+	Lines    []LineFact `json:"lines,omitempty"`
+}
+
+// fact folds a lineState dimension into the exported three-point state.
+func fact(safe bool, wbAt int) Fact {
+	switch {
+	case safe:
+		return FactDefinite
+	case wbAt >= 0:
+		return FactInFlight
+	default:
+		return FactVolatile
+	}
+}
+
+// emitClass snapshots the current abstract state for the class opened by
+// op i (or the initial class, i == -1) into the OnClass hook.
+func (v *verifier) emitClass(i int, boundary string) {
+	if v.opts.OnClass == nil {
+		return
+	}
+	st := ClassState{
+		Index:    v.classes - 1,
+		OpIndex:  i,
+		Boundary: boundary,
+		Epoch:    v.epoch,
+		InTx:     v.inTx,
+		SealOpen: v.sealSeen,
+	}
+	if v.sealSeen {
+		st.SealAddr = uint64(v.sealLine)
+		st.SealAt = v.sealAt
+	}
+	for _, a := range v.lineOrder {
+		ls := v.lines[a]
+		if ls.storedAt < 0 {
+			continue
+		}
+		st.Lines = append(st.Lines, LineFact{
+			Addr:     uint64(a),
+			StoredAt: ls.storedAt,
+			Atomic:   ls.ca,
+			InTx:     ls.storeInTx,
+			Data:     fact(ls.dataSafe, ls.dataWBAt),
+			Counter:  fact(ls.ctrSafe, ls.ctrWBAt),
+		})
+	}
+	sort.Slice(st.Lines, func(x, y int) bool { return st.Lines[x].Addr < st.Lines[y].Addr })
+	v.opts.OnClass(st)
 }
 
 // Invariant documents one verifier invariant for tool catalogs.
@@ -253,6 +354,7 @@ func Verify(tr *trace.Trace, opts Options) Result {
 	}
 	v.res.Ops = tr.Len()
 	v.classes = 1 // the class before any op
+	v.emitClass(-1, "start")
 	for i, op := range tr.Ops {
 		v.step(tr, i, op)
 	}
@@ -297,6 +399,7 @@ func ctrGroup(addr mem.Addr) mem.Addr {
 // the op is applied — the class opened by op i contains the op's own
 // effect as possibly-persisted, and the pre-state is what it publishes.
 func (v *verifier) step(tr *trace.Trace, i int, op trace.Op) {
+	before := v.classes
 	switch op.Kind {
 	case trace.Write:
 		v.classes++
@@ -354,6 +457,9 @@ func (v *verifier) step(tr *trace.Trace, i int, op trace.Op) {
 		for _, a := range v.lineOrder {
 			v.lines[a].storeInTx = false
 		}
+	}
+	if v.classes != before {
+		v.emitClass(i, op.Kind.String())
 	}
 }
 

@@ -36,24 +36,71 @@ import (
 // DefaultArena is the per-core arena used by the harness.
 const DefaultArena = 64 << 20
 
-// Result is the outcome of one crash injection.
+// Result is the outcome of one crash injection. The JSON shape is part
+// of the campaign report format; every count is meaningful (and emitted
+// as an explicit zero) in every sweep mode.
 type Result struct {
-	CrashAt          sim.Time
-	LostCounterLines int          // dirty counter-cache lines lost at the crash
-	RecoveredEntries int          // undo-log entries rolled back
-	CorruptLog       int          // log entries rejected as garbage
-	Osiris           RecoveryCost // candidate-search work (Osiris design only)
-	Err              error        // non-nil: recovery produced an inconsistent state
+	CrashAt          sim.Time     `json:"crash_at"`
+	LostCounterLines int          `json:"lost_counter_lines"` // dirty counter-cache lines lost at the crash
+	RecoveredEntries int          `json:"recovered_entries"`  // undo-log entries rolled back
+	CorruptLog       int          `json:"corrupt_log"`        // log entries rejected as garbage
+	Osiris           RecoveryCost `json:"osiris"`             // candidate-search work (Osiris design only)
+	Err              error        `json:"-"`                  // non-nil: recovery produced an inconsistent state
+	// Error mirrors Err for the wire: error values do not round-trip
+	// JSON, strings do. Omitted when recovery was consistent.
+	Error string `json:"error,omitempty"`
 }
 
-// Consistent reports whether recovery succeeded.
-func (r Result) Consistent() bool { return r.Err == nil }
+// Consistent reports whether recovery succeeded. It consults both error
+// carriers so a Result decoded from a checkpoint (Err necessarily nil)
+// judges the same as the Result the injection produced.
+func (r Result) Consistent() bool { return r.Err == nil && r.Error == "" }
+
+// Sweep modes, recorded in Report.Mode.
+const (
+	// ModeGrid is the legacy sweep: n+1 instants spread evenly over the
+	// execution window, unrelated to op boundaries.
+	ModeGrid = "grid"
+	// ModeExhaustive simulates every per-op crash gap.
+	ModeExhaustive = "exhaustive"
+	// ModePruned simulates one representative per equivalence cell and
+	// attributes its verdict to the whole cell.
+	ModePruned = "pruned"
+)
 
 // Report summarizes a crash-point sweep.
+//
+// The counting fields are explicit (no omitempty) on purpose: a grid or
+// exhaustive report writes literal zeros for the pruning fields rather
+// than omitting them, so "this mode prunes nothing" and "this report
+// predates pruning" are distinguishable on the wire.
 type Report struct {
-	Design   config.Design
-	Workload string
-	Results  []Result
+	Design   config.Design `json:"design"`
+	Workload string        `json:"workload"`
+	// Mode is how the crash-point space was enumerated: ModeGrid,
+	// ModeExhaustive, or ModePruned.
+	Mode string `json:"mode"`
+	// CrashPoints is the size of the covered crash-point space: grid
+	// points for ModeGrid, per-op gaps (ops+1) otherwise. Always set.
+	CrashPoints int `json:"crash_points"`
+	// Simulated counts injections actually run, including validation
+	// members. Equals CrashPoints except in ModePruned. Always set.
+	Simulated int `json:"simulated"`
+	// Classes and Cells describe the partition in ModeExhaustive and
+	// ModePruned: static equivalence classes, and classes after
+	// epoch-timeline refinement (the unit actually simulated). Both are
+	// deliberate zeros in ModeGrid, which has no partition.
+	Classes int `json:"classes"`
+	Cells   int `json:"cells"`
+	// Pruned counts crash points covered without simulation, and
+	// PrunedFraction is Pruned/CrashPoints. Deliberate zeros outside
+	// ModePruned: grid and exhaustive sweeps simulate everything.
+	Pruned         int     `json:"pruned"`
+	PrunedFraction float64 `json:"pruned_fraction"`
+	// Validated counts extra non-representative members simulated by
+	// class validation. Deliberate zero unless validation ran.
+	Validated int      `json:"validated"`
+	Results   []Result `json:"results,omitempty"`
 }
 
 // Failures returns the inconsistent results.
@@ -218,6 +265,9 @@ func injectSys(sys *replay.System, w workloads.Workload, traces []*trace.Trace,
 			break
 		}
 	}
+	if res.Err != nil {
+		res.Error = res.Err.Error()
+	}
 	return res, nil
 }
 
@@ -237,7 +287,7 @@ func Sweep(cfg *config.Config, w workloads.Workload, p workloads.Params, n int) 
 // goroutine-safe. Results are collected in crash-point order, so the
 // report is identical to the sequential sweep's for every degree.
 func SweepJ(cfg *config.Config, w workloads.Workload, p workloads.Params, n, workers int) (Report, error) {
-	rep := Report{Design: cfg.Design, Workload: w.Name()}
+	rep := Report{Design: cfg.Design, Workload: w.Name(), Mode: ModeGrid}
 	traces := BuildTraces(w, p, cfg.NumCores)
 
 	probe, err := replay.New(cfg, traces)
@@ -273,6 +323,8 @@ func SweepJ(cfg *config.Config, w workloads.Workload, p workloads.Params, n, wor
 		}
 		rep.Results = append(rep.Results, r.Value)
 	}
+	rep.CrashPoints = len(rep.Results)
+	rep.Simulated = len(rep.Results)
 	return rep, nil
 }
 
@@ -295,7 +347,7 @@ func SweepSpecJObserved(spec *machine.Spec, w workloads.Workload, p workloads.Pa
 	if err != nil {
 		return Report{}, err
 	}
-	rep := Report{Design: cfg.Design, Workload: w.Name()}
+	rep := Report{Design: cfg.Design, Workload: w.Name(), Mode: ModeGrid}
 	traces := BuildTraces(w, p, cfg.NumCores)
 
 	probe, err := replay.NewSpec(spec, traces)
@@ -326,5 +378,7 @@ func SweepSpecJObserved(spec *machine.Spec, w workloads.Workload, p workloads.Pa
 		}
 		rep.Results = append(rep.Results, r.Value)
 	}
+	rep.CrashPoints = len(rep.Results)
+	rep.Simulated = len(rep.Results)
 	return rep, nil
 }

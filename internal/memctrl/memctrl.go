@@ -106,6 +106,23 @@ type Controller struct {
 	// path free of per-write entry allocations.
 	entryPool []*entry
 
+	// reqPool recycles accept-FIFO requests the same way (ROADMAP item
+	// 2: writeReq pooling). The FIFO is bounded in steady state by the
+	// replay cores' backpressure threshold; the slab covers that, and
+	// overflow (shutdown-flush storms) falls back to the heap via
+	// newReq.
+	reqPool []*writeReq
+
+	// persistSink, when non-nil, receives the instant of every
+	// ADR-visible state change: a queue entry accepted, refreshed or
+	// completed, a device-image write landing, or the dirty counter-
+	// cache set changing. Between two crash deadlines with no sink
+	// instant in the half-open interval between them, the post-crash
+	// NVM state is identical — the dynamic refinement the crash
+	// campaign layers over the static class partition. Nil by default:
+	// one nil check on the hot paths.
+	persistSink func(sim.Time)
+
 	// pb, when non-nil, receives acceptance spans, encryption-pipeline
 	// occupancy, and queue-depth samples. Nil by default (one nil check
 	// on the hot paths).
@@ -160,6 +177,14 @@ func New(eng *sim.Engine, cfg *config.Config, meta engines.Engine, dev *nvm.Devi
 	for i := range slab {
 		mc.entryPool[i] = &slab[i]
 	}
+	// The accept FIFO is bounded in steady state by the cores'
+	// writeback backpressure (~2× the acceptance window); size the
+	// request slab past that so only flush storms hit the heap.
+	reqSlab := make([]writeReq, 4*acceptWindow)
+	mc.reqPool = make([]*writeReq, len(reqSlab))
+	for i := range reqSlab {
+		mc.reqPool[i] = &reqSlab[i]
+	}
 	return mc
 }
 
@@ -189,6 +214,48 @@ func (mc *Controller) putEntry(e *entry) {
 	if n := len(mc.entryPool); n < cap(mc.entryPool) {
 		mc.entryPool = mc.entryPool[:n+1]
 		mc.entryPool[n] = e
+	}
+}
+
+// SetPersistEpochSink attaches (or, with nil, detaches) the persist-
+// epoch sink. Call before the run starts; the sink must not re-enter
+// the controller.
+func (mc *Controller) SetPersistEpochSink(fn func(sim.Time)) { mc.persistSink = fn }
+
+// persistEpoch reports an ADR-visible state change at the current
+// instant.
+func (mc *Controller) persistEpoch() {
+	if mc.persistSink != nil {
+		mc.persistSink(mc.eng.Now())
+	}
+}
+
+// getReq takes a zeroed request from the pool, falling back to the heap
+// when the accept FIFO outgrows the slab (shutdown-flush storms).
+func (mc *Controller) getReq() *writeReq {
+	if n := len(mc.reqPool); n > 0 {
+		r := mc.reqPool[n-1]
+		mc.reqPool[n-1] = nil
+		mc.reqPool = mc.reqPool[:n-1]
+		return r
+	}
+	return mc.newReq()
+}
+
+// newReq is the pool-miss path, kept separate so the allocation has one
+// named site (hotalloc allowlist: bounded to FIFO overflow, not one per
+// write).
+func (mc *Controller) newReq() *writeReq { return new(writeReq) }
+
+// putReq zeroes a consumed request and returns it to the pool. Requests
+// beyond the slab's capacity are dropped for the GC. Safe to call the
+// moment acceptance has copied what it needs: the accepted callback is
+// scheduled by value before release.
+func (mc *Controller) putReq(r *writeReq) {
+	*r = writeReq{}
+	if n := len(mc.reqPool); n < cap(mc.reqPool) {
+		mc.reqPool = mc.reqPool[:n+1]
+		mc.reqPool[n] = r
 	}
 }
 
@@ -383,9 +450,10 @@ func (mc *Controller) Write(addr mem.Addr, plain mem.Line, ca bool, accepted fun
 	} else {
 		mc.st.Inc(stats.NonCAWrites, 1)
 	}
-	mc.pending = append(mc.pending, &writeReq{
-		addr: addr, plain: plain, ca: ca, accepted: accepted, arrival: mc.eng.Now(),
-	})
+	req := mc.getReq()
+	req.addr, req.plain, req.ca, req.accepted, req.arrival =
+		addr, plain, ca, accepted, mc.eng.Now()
+	mc.pending = append(mc.pending, req)
 	mc.tryAccept()
 }
 
@@ -409,7 +477,8 @@ func (mc *Controller) CounterWriteback(addr mem.Addr, accepted func()) {
 	// counters. Checking early would silently skip exactly the counters
 	// the barrier is meant to persist.
 	cl := mc.layout.CounterLine(addr)
-	req := &writeReq{addr: cl, isCtr: true, ccwb: true, arrival: mc.eng.Now()}
+	req := mc.getReq()
+	req.addr, req.isCtr, req.ccwb, req.arrival = cl, true, true, mc.eng.Now()
 	if !mc.meta.CounterWritebackBlocks() {
 		// The Ideal design pays the counter write traffic but never
 		// the ordering: the barrier does not wait for the counter to
@@ -426,9 +495,9 @@ func (mc *Controller) CounterWriteback(addr mem.Addr, accepted func()) {
 // enqueueCounterWrite queues a standalone (always-ready) write of the
 // counter line cl with its current packed values.
 func (mc *Controller) enqueueCounterWrite(cl mem.Addr, accepted func()) {
-	mc.pending = append(mc.pending, &writeReq{
-		addr: cl, isCtr: true, accepted: accepted, arrival: mc.eng.Now(),
-	})
+	req := mc.getReq()
+	req.addr, req.isCtr, req.accepted, req.arrival = cl, true, accepted, mc.eng.Now()
+	mc.pending = append(mc.pending, req)
 	mc.tryAccept()
 }
 
@@ -510,6 +579,7 @@ func (mc *Controller) tryAccept() {
 					if req.accepted != nil {
 						mc.eng.Schedule(0, req.accepted)
 					}
+					mc.putReq(req)
 					progress = true
 					continue
 				}
@@ -549,6 +619,7 @@ func (mc *Controller) tryAccept() {
 				} else {
 					mc.acceptData(req)
 				}
+				mc.putReq(req)
 				progress = true
 			} else {
 				stalls++
@@ -594,6 +665,7 @@ func blockLine(set *[acceptWindow]mem.Addr, n int, a mem.Addr) int {
 // line write.
 func (mc *Controller) acceptData(req *writeReq) {
 	now := mc.eng.Now()
+	mc.persistEpoch() // queue contents and counter-cache state change here
 	mc.st.Observe("mc.accept_delay", now-req.arrival)
 
 	var cipher mem.Line
@@ -679,6 +751,7 @@ func (mc *Controller) acceptData(req *writeReq) {
 // queued entry is refreshed in place — the write-queue coalescing that
 // gives SCA its counter-traffic reduction (Fig. 14).
 func (mc *Controller) acceptCounter(req *writeReq) {
+	mc.persistEpoch() // queue contents and counter-cache state change here
 	mc.st.Observe("mc.ctr_accept_delay", mc.eng.Now()-req.arrival)
 	if req.ccwb {
 		// The counter line leaves the dirty state now that a write of
@@ -780,6 +853,7 @@ func (mc *Controller) issue(e *entry, isData bool) {
 		mc.counterIssued++
 	}
 	mc.dev.Write(e.addr, e.data, e.nbytes, e.tag, e.sum, func() {
+		mc.persistEpoch() // the write just landed in the device image
 		e.done = true
 		if isData {
 			mc.dataIssued--
@@ -892,6 +966,7 @@ func (mc *Controller) evictCounterVictim(res cache.AccessResult) {
 	if !res.VictimValid || !res.VictimDirty {
 		return
 	}
+	mc.persistEpoch() // the dirty counter-cache set just shrank
 	mc.st.Inc(stats.CounterCacheWB, 1)
 	mc.enqueueCounterWrite(res.Victim, nil)
 }

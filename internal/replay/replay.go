@@ -65,6 +65,13 @@ type core struct {
 	tr  *trace.Trace
 	pc  int
 
+	// retire, when non-nil, records the retire instant of every op (the
+	// simulated time by which the op's effects are in the machine and
+	// the next op's are not yet): pre-sized by RecordRetireTimes, filled
+	// through nret so the hot loop never appends.
+	retire []sim.Time
+	nret   int
+
 	outstanding int      // tracked clwb/ccwb writebacks not yet accepted
 	fenceWait   bool     // blocked in sfence until outstanding == 0
 	fenceStart  sim.Time // when the current fence began blocking
@@ -139,6 +146,37 @@ func NewMachine(m *machine.Machine, traces []*trace.Trace) (*System, error) {
 
 // Plain returns the replay-time plaintext image (the program's view).
 func (s *System) Plain() *mem.Space { return s.plain }
+
+// RecordRetireTimes arms per-op retire-time recording on every core.
+// Call before Start/Run. The crash campaign uses the recorded times as
+// the per-op crash-point deadlines: crashing at RetireTimes(c)[k] yields
+// the NVM state after ops 0..k and before any effect of op k+1. Batched
+// ops (cache hits, compute, transaction markers) retire at their exact
+// accumulated instant even though they share one engine event; ops that
+// touch the memory controller retire at their dispatch instant, which is
+// when their controller interactions occur.
+func (s *System) RecordRetireTimes() {
+	for _, c := range s.cores {
+		c.retire = make([]sim.Time, c.tr.Len())
+		c.nret = 0
+	}
+}
+
+// RetireTimes returns the recorded retire instants of the given core's
+// ops, one per trace op, nondecreasing. Valid after the run completes
+// and only if RecordRetireTimes was called first.
+func (s *System) RetireTimes(core int) []sim.Time {
+	c := s.cores[core]
+	return c.retire[:c.nret]
+}
+
+// mark records op retirement at the given instant when recording is on.
+func (c *core) mark(at sim.Time) {
+	if c.retire != nil {
+		c.retire[c.nret] = at
+		c.nret++
+	}
+}
 
 // AttachProbe wires the observability probe through every layer of the
 // system — device, controller, and cores — and, when a metrics sink is
@@ -339,6 +377,7 @@ func (c *core) step() {
 		case trace.Compute:
 			acc += sim.Time(op.Cycles) * cfg.CPUCycle
 			c.pc++
+			c.mark(c.sys.Eng.Now() + acc)
 			continue
 		case trace.Read:
 			if c.l1.Contains(op.Addr) {
@@ -346,6 +385,7 @@ func (c *core) step() {
 				c.sys.St.Inc(stats.L1Hits, 1)
 				acc += cfg.L1.HitTime
 				c.pc++
+				c.mark(c.sys.Eng.Now() + acc)
 				continue
 			}
 		case trace.Write:
@@ -356,6 +396,7 @@ func (c *core) step() {
 				c.sys.St.Inc(stats.L1Hits, 1)
 				acc += cfg.L1.HitTime
 				c.pc++
+				c.mark(c.sys.Eng.Now() + acc)
 				continue
 			}
 		case trace.TxBegin:
@@ -370,6 +411,7 @@ func (c *core) step() {
 				c.stage = 1
 			}
 			c.pc++
+			c.mark(c.sys.Eng.Now() + acc)
 			continue
 		case trace.TxEnd:
 			c.txEnds = append(c.txEnds, c.sys.Eng.Now()+acc)
@@ -383,6 +425,7 @@ func (c *core) step() {
 				c.stage = 0
 			}
 			c.pc++
+			c.mark(c.sys.Eng.Now() + acc)
 			continue
 		}
 		// Complex op: burn the accumulated time first so controller
@@ -396,6 +439,10 @@ func (c *core) step() {
 
 	op := c.tr.Ops[c.pc]
 	c.pc++
+	// A controller-touching op retires at its dispatch instant: its
+	// synchronous controller interactions happen now, and the next op
+	// cannot run before the engine advances past this event.
+	c.mark(c.sys.Eng.Now())
 
 	switch op.Kind {
 	case trace.Read: // L1 miss (hits batched above)
