@@ -22,8 +22,7 @@
 // -checkpoint streams per-class verdicts to a JSONL file as they
 // complete; a killed campaign restarts from it with -resume instead of
 // re-simulating. -campaign-out writes the schema-tagged JSON campaign
-// report. Exit status: 0 all consistent, 1 violations, 2 usage, 3
-// halted by -halt-after (checkpoint intact).
+// report.
 //
 // With -legacy the workload uses pre-paper persistency primitives (no
 // counter_cache_writeback, no CounterAtomic), reproducing the §2.2
@@ -33,9 +32,12 @@
 // -verify` (or the verifier's cross-validation suite) is replayed
 // functionally: the workload trace is rebuilt deterministically from the
 // recorded parameters, the optional catalog mutant applied, the exact
-// crash-point image constructed, and recovery plus validation run. Exit
-// status: 0 the schedule reproduces the predicted failure, 1 it does
-// not, 2 usage or I/O error.
+// crash-point image constructed, and recovery plus validation run.
+//
+// Exit status, in every mode: 0 every crash point recovered
+// consistently (for -schedule: the predicted failure reproduced), 1
+// violations (for -schedule: the failure did not reproduce), 2 usage or
+// I/O error, 3 campaign halted by -halt-after (checkpoint intact).
 package main
 
 import (
@@ -80,6 +82,23 @@ func main() {
 	schedule := flag.String("schedule", "", "replay a verifier counterexample file and exit")
 	version := flag.Bool("version", false, "print build/version information and exit")
 	perfOpts := perf.RegisterFlags(flag.CommandLine)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), `Usage:
+  crashtest [-design sca] [-workload all] [-points 32] [-legacy] [-cores 1] [-j N]
+  crashtest -spec machine.json [-workload all] ...
+  crashtest -campaign [-exhaustive] [-validate-classes K] [-checkpoint f.jsonl] [-resume]
+  crashtest -schedule counterexample.json
+
+Exit status (every mode):
+  0  every crash point recovered consistently (-schedule: predicted failure reproduced)
+  1  violations found (-schedule: failure did not reproduce)
+  2  usage or I/O error
+  3  campaign halted by -halt-after (checkpoint intact)
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *version {

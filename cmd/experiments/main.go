@@ -3,7 +3,7 @@
 // Usage:
 //
 //	experiments [-scale quick|full] [-j N] [-progress file]
-//	            [-figure all|table1|table2|fig4|fig8|fig12|fig13|fig14|fig15|fig16|fig17|lifetime|osiris]
+//	            [-figure all|table1|table2|fig4|fig8|fig12|fig13|fig14|fig15|fig16|fig17|lifetime|osiris|integrity]
 //
 // Each figure prints the same rows/series the paper reports, produced by
 // this repository's simulator. See EXPERIMENTS.md for the expected shapes
@@ -51,6 +51,7 @@ func figureRunners(sc exp.Scale, out io.Writer) []struct {
 		{"fig17", func() error { _, err := exp.Fig17(sc, out); return err }},
 		{"lifetime", func() error { _, err := exp.Lifetime(sc, out); return err }},
 		{"osiris", func() error { _, err := exp.Osiris(sc, out); return err }},
+		{"integrity", func() error { _, err := exp.Integrity(sc, out); return err }},
 	}
 }
 

@@ -5,7 +5,7 @@
 // table must be internally coherent (rules C0–C3), its claimed crash
 // consistency must hold when the paper's persistency protocols are
 // symbolically executed under the engine's persistence semantics
-// (invariants V1–V4, via verify.Model), and its Recover implementation
+// (invariants V1–V5, via verify.Model), and its Recover implementation
 // must actually reconstruct plaintext from the images its table permits
 // (rule C4).
 //
@@ -44,9 +44,9 @@ type Rule struct {
 // Rules returns the catalog of engine contract rules, in ID order.
 func Rules() []Rule {
 	return []Rule{
-		{"C0", "policy table is structurally coherent (co-location excludes separate counter writes, caching and writebacks require encryption, blocking requires emitting)"},
-		{"C1", "counter-atomic annotations are honored: an encrypted engine with separate, non-recoverable counters must implement WriteIsCounterAtomic(true)"},
-		{"C2", "a counter-cached engine claiming consistency must make counters durable before a commit switch: blocking writeback, stop-loss bound, or forced atomicity"},
+		{"C0", "policy table is structurally coherent (co-location excludes separate counter writes, caching/writebacks/integrity require encryption, blocking requires emitting, write-through and tree paths require an integrity tree)"},
+		{"C1", "counter-atomic annotations are honored: an encrypted engine with separate, non-recoverable, non-write-through counters must implement WriteIsCounterAtomic(true)"},
+		{"C2", "a counter-cached engine claiming consistency must make counters durable before a commit switch: blocking writeback, stop-loss bound, write-through metadata, or forced atomicity"},
 		{"C3", "per-write pairing implies forced counter-atomicity and a separate counter region"},
 		{"C4", "Recover and the consistency claim are sound: persisted images round-trip, stop-loss engines recover stale counters within the window, and a disclaimed engine exhibits a real violation"},
 	}
@@ -55,7 +55,7 @@ func Rules() []Rule {
 // Finding is one contract breach for one engine.
 type Finding struct {
 	Engine  string
-	Rule    string // "C0".."C4" or "V0".."V4"
+	Rule    string // "C0".."C4" or "V0".."V5"
 	Program string // abstract program that exposed it ("" for table rules)
 	Message string
 	// Violation carries the verifier's counterexample for V-rule
@@ -83,18 +83,26 @@ func (r Report) Clean() bool { return len(r.Findings) == 0 }
 
 // ModelFor derives the verifier's persistence model from an engine's
 // policy table: how the annotation maps to effective atomicity, whether
-// separate counter durability is ever at risk, and whether ccwb is
-// ordered by the next fence.
+// separate counter durability is ever at risk, whether ccwb is ordered
+// by the next fence, and how integrity-tree paths persist.
 func ModelFor(e engines.Engine, cfg *config.Config) *verify.Model {
+	wthru := e.MetadataWriteThrough()
 	return &verify.Model{
 		AtomicWrite: e.WriteIsCounterAtomic,
-		CounterFree: !e.Encrypted() || e.CoLocatesCounters() || e.StopLossLimit(cfg) >= 0,
-		CCWBOrdered: e.CounterWritebackEmits() && e.CounterWritebackBlocks(),
+		CounterFree: !e.Encrypted() || e.CoLocatesCounters() ||
+			e.StopLossLimit(cfg) >= 0 || wthru,
+		CCWBUnordered: !(e.CounterWritebackEmits() && e.CounterWritebackBlocks()),
+		// A write-through engine's tree is as durable as its counters —
+		// by construction — so V5 only ever constrains engines whose
+		// tree paths ride the counter writeback.
+		TreeProtected:       e.IntegrityProtected() && !wthru,
+		TreePathWithCounter: e.TreePathWrites(cfg) > 0,
+		TreePathUnordered:   !e.TreePathOrdered(),
 	}
 }
 
 // Check model-checks one engine against C0–C4 and, through the abstract
-// programs, V0–V4. cfg supplies the sizing knobs the policy consults
+// programs, V0–V5. cfg supplies the sizing knobs the policy consults
 // (StopLoss); nil uses the engine design's Table-2 default.
 func Check(e engines.Engine, cfg *config.Config) Report {
 	if cfg == nil {
@@ -131,6 +139,8 @@ func checkTable(e engines.Engine, cfg *config.Config, fail func(rule, program, f
 	emit := e.CounterWritebackEmits()
 	wait := e.CounterWritebackBlocks()
 	stopLoss := e.StopLossLimit(cfg)
+	integ := e.IntegrityProtected()
+	wthru := e.MetadataWriteThrough()
 
 	// C0: structural coherence.
 	if coloc && sep {
@@ -148,12 +158,25 @@ func checkTable(e engines.Engine, cfg *config.Config, fail func(rule, program, f
 	if !enc && (coloc || sep || stopLoss >= 0) {
 		fail("C0", "", "an unencrypted engine has no counters to place (coloc=%v sep=%v stopLoss=%d)", coloc, sep, stopLoss)
 	}
+	if integ && !enc {
+		fail("C0", "", "an integrity tree over counter-mode metadata requires encryption")
+	}
+	if wthru && !integ {
+		fail("C0", "", "write-through metadata without integrity protection has no MAC to carry")
+	}
+	if wthru && !sep {
+		fail("C0", "", "write-through metadata needs a separate counter region for the combined counter+MAC line")
+	}
+	if e.TreePathWrites(cfg) > 0 && !integ {
+		fail("C0", "", "tree-path writes without IntegrityProtected: there is no tree to update")
+	}
 
 	// C1: annotation honoring. With encryption, separate counters, no
-	// co-location and no stop-loss recovery, the CounterAtomic annotation
-	// is the ONLY crash-consistency mechanism — dropping it (dropCA)
-	// makes the seal garble-able with no recovery path.
-	if enc && !coloc && stopLoss < 0 && !e.WriteIsCounterAtomic(true) {
+	// co-location, no stop-loss recovery, and no write-through metadata,
+	// the CounterAtomic annotation is the ONLY crash-consistency
+	// mechanism — dropping it (dropCA) makes the seal garble-able with
+	// no recovery path.
+	if enc && !coloc && stopLoss < 0 && !wthru && !e.WriteIsCounterAtomic(true) {
 		fail("C1", "", "StopLossLimit=-1 with separate counters requires WriteIsCounterAtomic(annotated=true); the annotation is the only consistency mechanism left")
 	}
 
@@ -162,7 +185,7 @@ func checkTable(e engines.Engine, cfg *config.Config, fail func(rule, program, f
 	// before the switch publishes them: a blocking writeback path, a
 	// stop-loss bound, or forcing every write counter-atomic.
 	if e.CrashConsistent() && enc && sep && cache {
-		if !(emit && wait) && stopLoss < 0 && !e.WriteIsCounterAtomic(false) {
+		if !(emit && wait) && stopLoss < 0 && !wthru && !e.WriteIsCounterAtomic(false) {
 			fail("C2", "", "counter-cached engine claims consistency but has no blocking counter-writeback path before a commit switch (emits=%v blocks=%v stopLoss=%d forceCA=%v)",
 				emit, wait, stopLoss, e.WriteIsCounterAtomic(false))
 		}
@@ -246,6 +269,17 @@ func checkRecovery(e engines.Engine, cfg *config.Config, fail func(rule, program
 	space, _ := e.Recover(cfg, lay, enc, image(5, 5))
 	if got := space.ReadLine(addr); got != plain {
 		fail("C4", "", "Recover fails to round-trip a fully persisted image: counter and data both in NVM, plaintext not reconstructed")
+	}
+
+	// (iv) A tree-protected engine without write-through metadata must
+	// detect a torn counter/tree path: data re-encrypted under a newer
+	// counter than NVM holds fails the root walk and must be reported
+	// unrecovered, or torn paths are silently accepted as valid data.
+	if e.IntegrityProtected() && !e.MetadataWriteThrough() && e.StopLossLimit(cfg) < 0 {
+		_, cost := e.Recover(cfg, lay, enc, image(6, 5))
+		if cost.Unrecovered == 0 {
+			fail("C4", "", "Recover accepts a torn integrity path (data one counter ahead of NVM) without reporting it unrecovered: the tree-root check is missing")
+		}
 	}
 
 	limit := e.StopLossLimit(cfg)

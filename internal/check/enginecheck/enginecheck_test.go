@@ -9,7 +9,7 @@ import (
 	"encnvm/internal/machine/engines"
 )
 
-// All seven builtin engines must pass the full contract check — that is
+// All nine builtin engines must pass the full contract check — that is
 // the acceptance gate for persistcheck -enginecheck.
 func TestBuiltinEnginesClean(t *testing.T) {
 	for _, name := range engines.Names() {
@@ -156,7 +156,7 @@ func TestCounterexampleReplayDetectsDrift(t *testing.T) {
 	}
 	file := NewFile("ideal-claims-consistent", *f, ModelFor(engines.Ideal, nil))
 	// An ordered ccwb heals the violation: replay must notice.
-	file.Model.CCWBOrdered = true
+	file.Model.CCWBUnordered = false
 	if err := file.Replay(); err == nil {
 		t.Fatal("replay accepted a healed model")
 	}

@@ -29,10 +29,13 @@ type ArenaRecord struct {
 // ModelRecord serializes a verify.Model. AtomicWrite is a bool→bool
 // function, so sampling it at both inputs captures it exactly.
 type ModelRecord struct {
-	AtomicAnnotated bool `json:"atomicAnnotated"`
-	AtomicPlain     bool `json:"atomicPlain"`
-	CounterFree     bool `json:"counterFree"`
-	CCWBOrdered     bool `json:"ccwbOrdered"`
+	AtomicAnnotated     bool `json:"atomicAnnotated"`
+	AtomicPlain         bool `json:"atomicPlain"`
+	CounterFree         bool `json:"counterFree"`
+	CCWBUnordered       bool `json:"ccwbUnordered"`
+	TreeProtected       bool `json:"treeProtected,omitempty"`
+	TreePathWithCounter bool `json:"treePathWithCounter,omitempty"`
+	TreePathUnordered   bool `json:"treePathUnordered,omitempty"`
 }
 
 // Model reconstructs the verifier model.
@@ -45,8 +48,11 @@ func (m ModelRecord) Model() *verify.Model {
 			}
 			return plain
 		},
-		CounterFree: m.CounterFree,
-		CCWBOrdered: m.CCWBOrdered,
+		CounterFree:         m.CounterFree,
+		CCWBUnordered:       m.CCWBUnordered,
+		TreeProtected:       m.TreeProtected,
+		TreePathWithCounter: m.TreePathWithCounter,
+		TreePathUnordered:   m.TreePathUnordered,
 	}
 }
 
@@ -89,10 +95,13 @@ func NewFile(e string, f Finding, model *verify.Model) *File {
 	out := &File{Engine: e, Rule: f.Rule, Program: f.Program, Message: f.Message}
 	if model != nil {
 		out.Model = ModelRecord{
-			AtomicAnnotated: model.AtomicWrite == nil || model.AtomicWrite(true),
-			AtomicPlain:     model.AtomicWrite != nil && model.AtomicWrite(false),
-			CounterFree:     model.CounterFree,
-			CCWBOrdered:     model.CCWBOrdered,
+			AtomicAnnotated:     model.AtomicWrite == nil || model.AtomicWrite(true),
+			AtomicPlain:         model.AtomicWrite != nil && model.AtomicWrite(false),
+			CounterFree:         model.CounterFree,
+			CCWBUnordered:       model.CCWBUnordered,
+			TreeProtected:       model.TreeProtected,
+			TreePathWithCounter: model.TreePathWithCounter,
+			TreePathUnordered:   model.TreePathUnordered,
 		}
 	}
 	if f.Violation == nil {

@@ -26,7 +26,14 @@ type table struct {
 	emit    bool
 	wait    bool
 	stop    bool
-	claims  bool
+	integ   bool
+	wthru   bool
+	// treeDrop suppresses the tree-path writes an integrity engine owes
+	// (the "forgot to persist the ancestor path" bug); treeUnordered
+	// emits them without fence ordering.
+	treeDrop      bool
+	treeUnordered bool
+	claims        bool
 }
 
 func (t *table) Name() string                 { return t.name }
@@ -40,6 +47,16 @@ func (t *table) PairsEveryWrite() bool        { return t.pairs }
 func (t *table) CounterWritebackEmits() bool  { return t.emit }
 func (t *table) CounterWritebackBlocks() bool { return t.wait }
 func (t *table) CrashConsistent() bool        { return t.claims }
+func (t *table) IntegrityProtected() bool     { return t.integ }
+func (t *table) MetadataWriteThrough() bool   { return t.wthru }
+func (t *table) TreePathOrdered() bool        { return !t.treeUnordered }
+
+func (t *table) TreePathWrites(cfg *config.Config) int {
+	if !t.integ || t.wthru || t.treeDrop {
+		return 0
+	}
+	return engines.TreeDepth(cfg) + 1
+}
 
 func (t *table) WriteIsCounterAtomic(annotated bool) bool {
 	if t.forceCA {
@@ -94,6 +111,12 @@ func Mutants() []Mutant {
 		dropCA: true, claims: true}
 	osiris := table{design: config.Osiris, base: osirisRec,
 		enc: true, cache: true, sep: true, dropCA: true, stop: true, claims: true}
+	bmt := table{design: config.BMT, base: engines.BMT,
+		enc: true, cache: true, sep: true, emit: true, wait: true,
+		integ: true, claims: true}
+	secpm := table{design: config.SecPM, base: engines.SecPM,
+		enc: true, cache: true, sep: true, dropCA: true, integ: true,
+		wthru: true, claims: true}
 
 	mk := func(name string, t table, mutate func(*table), why string, expect ...string) Mutant {
 		t.name = name
@@ -140,6 +163,18 @@ func Mutants() []Mutant {
 			"C0"),
 		mk("stoploss-plaintext", noenc, func(t *table) { t.stop = true },
 			"stop-loss rule on an unencrypted engine: no counters to bound",
+			"C0"),
+		mk("bmt-drop-tree-path", bmt, func(t *table) { t.treeDrop = true },
+			"BMT whose counter writebacks never carry the ancestor tree path: the switch publishes lines whose tree nodes are volatile",
+			"V5"),
+		mk("bmt-unordered-tree", bmt, func(t *table) { t.treeUnordered = true },
+			"BMT whose tree-path writes are emitted but never fence-ordered: the MAC path is in flight at the commit switch",
+			"V5"),
+		mk("secpm-no-writethrough", secpm, func(t *table) { t.wthru = false },
+			"SecPM that stops writing metadata through: with the annotation dropped and no ordering primitives, counters garble at the switch",
+			"C1", "C2", "V2"),
+		mk("noenc-integrity", noenc, func(t *table) { t.integ = true },
+			"integrity tree on an unencrypted engine: no counter-mode metadata to protect",
 			"C0"),
 	}
 }

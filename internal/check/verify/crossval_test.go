@@ -250,3 +250,59 @@ func TestMutantCatalogSize(t *testing.T) {
 		t.Fatalf("catalog has %d mutants, want >= 38", total)
 	}
 }
+
+// Pin: an explicit zero Model and a nil Options.Model must produce
+// identical verdicts — the zero value IS the default semantics. Checked
+// across the full trace-mutant catalog so any field whose zero value
+// diverges from the nil-path default shows up immediately.
+func TestZeroModelMatchesNil(t *testing.T) {
+	zero := func(o verify.Options) verify.Options {
+		o.Model = &verify.Model{}
+		return o
+	}
+	compare := func(name string, tr *trace.Trace) {
+		t.Helper()
+		a := verify.Verify(tr, xvOptions())
+		b := verify.Verify(tr, zero(xvOptions()))
+		if len(a.Violations) != len(b.Violations) {
+			t.Errorf("%s: nil model %d violations, zero model %d",
+				name, len(a.Violations), len(b.Violations))
+			return
+		}
+		for i := range a.Violations {
+			x, y := a.Violations[i], b.Violations[i]
+			if x.Inv != y.Inv || x.OpIndex != y.OpIndex || x.Addr != y.Addr {
+				t.Errorf("%s violation %d: nil %v vs zero %v", name, i, x, y)
+			}
+		}
+	}
+	total := 0
+	for _, mode := range []persist.TxMode{persist.Undo, persist.Redo} {
+		for _, w := range workloads.All() {
+			p := xvParams()
+			p.TxMode = mode
+			tr := buildTrace(t, w, p)
+			compare(w.Name()+"/"+mode.String()+"/clean", tr)
+			ms, err := check.TxMutants(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range ms {
+				compare(w.Name()+"/"+mode.String()+"/"+m.Name, m.Trace)
+				total++
+			}
+		}
+	}
+	lt := buildTrace(t, &workloads.LinkedList{}, xvParams())
+	lms, err := check.ListMutants(lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range lms {
+		compare("linkedlist/"+m.Name, m.Trace)
+		total++
+	}
+	if total < 38 {
+		t.Fatalf("pin covered %d mutants, want the full catalog (>= 38)", total)
+	}
+}

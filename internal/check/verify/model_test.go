@@ -21,7 +21,7 @@ func TestModelNilEquivalence(t *testing.T) {
 		mkTrace(txb(), wrCA(lineL), clwb(lineL), fence(), wr(lineA), clwb(lineA), ccwb(lineA), fence(), txe()),
 	} {
 		legacy := verify.Verify(tr, vopts())
-		modeled := verify.Verify(tr, vmodel(verify.Model{CCWBOrdered: true}))
+		modeled := verify.Verify(tr, vmodel(verify.Model{}))
 		if len(legacy.Violations) != len(modeled.Violations) {
 			t.Fatalf("trace %d: default model diverges: legacy %v vs modeled %v",
 				i, legacy.Violations, modeled.Violations)
@@ -40,7 +40,7 @@ func TestModelNilEquivalence(t *testing.T) {
 // the counter-volatile durability failure disappears, while a genuinely
 // unflushed line still trips V4.
 func TestModelCounterFree(t *testing.T) {
-	m := verify.Model{CounterFree: true, CCWBOrdered: true}
+	m := verify.Model{CounterFree: true}
 	res := verify.Verify(mkTrace(wr(lineA), clwb(lineA), fence()), vmodel(m))
 	if !res.Clean() {
 		t.Fatalf("counter-free engine should not need a ccwb: %v", res.Violations)
@@ -52,7 +52,7 @@ func TestModelCounterFree(t *testing.T) {
 // An engine that forces every write counter-atomic (FCA) persists data
 // and counter together: clwb+fence alone is durable.
 func TestModelForceAtomic(t *testing.T) {
-	m := verify.Model{AtomicWrite: func(bool) bool { return true }, CCWBOrdered: true}
+	m := verify.Model{AtomicWrite: func(bool) bool { return true }}
 	res := verify.Verify(mkTrace(wr(lineA), clwb(lineA), fence()), vmodel(m))
 	if !res.Clean() {
 		t.Fatalf("force-atomic engine leaves no separate counter risk: %v", res.Violations)
@@ -69,7 +69,7 @@ func TestModelUnorderedCCWB(t *testing.T) {
 	if res := verify.Verify(tr, vopts()); !res.Clean() {
 		t.Fatalf("baseline SCA run should be clean: %v", res.Violations)
 	}
-	m := verify.Model{CCWBOrdered: false}
+	m := verify.Model{CCWBUnordered: true}
 	res := verify.Verify(tr, vmodel(m))
 	if res.Clean() {
 		t.Fatal("unordered ccwb must leave the counter volatile")
@@ -86,7 +86,6 @@ func TestModelDropCAStillSealAware(t *testing.T) {
 	m := verify.Model{
 		AtomicWrite: func(bool) bool { return false },
 		CounterFree: true,
-		CCWBOrdered: true,
 	}
 	// Mutation before the seal is flushed: V3 regardless of engine.
 	res := verify.Verify(mkTrace(txb(), wrCA(lineL), wr(lineA), txe()), vmodel(m))
@@ -103,12 +102,61 @@ func TestModelDropCAStillSealAware(t *testing.T) {
 
 func TestInvariantsCatalog(t *testing.T) {
 	inv := verify.Invariants()
-	if len(inv) != 5 {
-		t.Fatalf("want 5 invariants, got %d", len(inv))
+	if len(inv) != 6 {
+		t.Fatalf("want 6 invariants, got %d", len(inv))
 	}
-	for i, want := range []string{"V0", "V1", "V2", "V3", "V4"} {
+	for i, want := range []string{"V0", "V1", "V2", "V3", "V4", "V5"} {
 		if inv[i].ID != want || inv[i].Doc == "" {
 			t.Errorf("invariant %d = %q (doc %q), want %s with doc", i, inv[i].ID, inv[i].Doc, want)
 		}
+	}
+}
+
+// A tree-protected engine whose metadata travels with the counter write
+// (BMT): the SCA-clean publish protocol stays clean, because the fence
+// that makes the counter definite makes the ancestor path definite too.
+func TestModelTreeProtectedClean(t *testing.T) {
+	m := verify.Model{TreeProtected: true, TreePathWithCounter: true}
+	tr := mkTrace(
+		wr(lineA), clwb(lineA), ccwb(lineA), fence(),
+		wrCA(lineC), clwb(lineC), fence(),
+	)
+	if res := verify.Verify(tr, vmodel(m)); !res.Clean() {
+		t.Fatalf("ordered tree-path writeback should satisfy V5: %v", res.Violations)
+	}
+}
+
+// A tree-protected engine that never writes the ancestor path back: the
+// switch publishes a line whose tree nodes are volatile — V5, and only
+// V5 (data and counter themselves are durable).
+func TestModelTreePathDropped(t *testing.T) {
+	m := verify.Model{TreeProtected: true}
+	tr := mkTrace(
+		wr(lineA), clwb(lineA), ccwb(lineA), fence(),
+		wrCA(lineC), clwb(lineC), fence(),
+	)
+	res := verify.Verify(tr, vmodel(m))
+	expectViolations(t, res, [2]interface{}{"V5", 4})
+}
+
+// Tree-path writes emitted but never fence-ordered: same V5 as dropping
+// them — the path never becomes definitely persistent.
+func TestModelTreePathUnordered(t *testing.T) {
+	m := verify.Model{TreeProtected: true, TreePathWithCounter: true, TreePathUnordered: true}
+	tr := mkTrace(
+		wr(lineA), clwb(lineA), ccwb(lineA), fence(),
+		wrCA(lineC), clwb(lineC), fence(),
+	)
+	res := verify.Verify(tr, vmodel(m))
+	expectViolations(t, res, [2]interface{}{"V5", 4})
+}
+
+// A CounterAtomic store's own writeback must carry the tree path too:
+// the CA publish pattern (no ccwb at all) stays clean under BMT.
+func TestModelTreePathWithCAWriteback(t *testing.T) {
+	m := verify.Model{TreeProtected: true, TreePathWithCounter: true}
+	tr := mkTrace(wrCA(lineA), clwb(lineA), fence(), wrCA(lineC), clwb(lineC), fence())
+	if res := verify.Verify(tr, vmodel(m)); !res.Clean() {
+		t.Fatalf("CA writeback carries the path; want clean, got %v", res.Violations)
 	}
 }

@@ -60,6 +60,11 @@
 //	V4  durability: a line still volatile or unfenced at TxEnd or at the
 //	    end of the trace — a class immediately after the "completed"
 //	    program loses the committed effect.
+//	V5  (tree-protected engines only) counter-atomic switch while an
+//	    ancestor integrity-tree node of an earlier store is not
+//	    definitely persisted: the published line fails MAC/tree
+//	    verification after a crash even though it decrypts correctly —
+//	    the counter problem again at tree scale.
 //
 // V1/V2 are the exhaustive forms of the dynamic linter's R3/R4, V3 of R5,
 // V4 of R1/R2 (internal/check); every trace mutant the dynamic rules
@@ -115,7 +120,10 @@ type Options struct {
 //
 // The zero Model (and a nil Options.Model) reproduces the verifier's
 // historical behavior exactly: AtomicWrite = identity on the annotation,
-// CounterFree = false, CCWBOrdered = true.
+// CounterFree = false, ordered CCWB, no integrity tree. Every field is
+// phrased so its zero value selects that default — in particular the
+// CCWB ordering flag is inverted (CCWBUnordered) so that &Model{} and a
+// nil Options.Model are indistinguishable.
 type Model struct {
 	// AtomicWrite reports whether a store with the given software
 	// annotation persists its data and counter atomically (the engine's
@@ -123,15 +131,35 @@ type Model struct {
 	AtomicWrite func(annotated bool) bool
 	// CounterFree reports that separate counter durability is never a
 	// crash risk for this engine: plaintext (no counters), co-located
-	// counters (travel with the line), or checksum-recoverable counters
-	// within a stop-loss window. Counter facts then track data facts.
+	// counters (travel with the line), checksum-recoverable counters
+	// within a stop-loss window, or metadata written through with every
+	// data write. Counter facts then track data facts.
 	CounterFree bool
-	// CCWBOrdered reports that counter_cache_writeback() emits a counter
-	// write which the next retired sfence makes definitely persistent.
-	// When false (Ideal: traffic but no ordering), a CCWB op never makes
-	// any counter definitely persistent — the sound abstraction of an
-	// unordered writeback.
-	CCWBOrdered bool
+	// CCWBUnordered reports that counter_cache_writeback() emits traffic
+	// the next retired sfence never waits for (Ideal): a CCWB op then
+	// never makes any counter definitely persistent — the sound
+	// abstraction of an unordered writeback. The zero value (false)
+	// is the historical ordered semantics: the writeback's counter write
+	// becomes definitely persistent at the next retired sfence.
+	CCWBUnordered bool
+	// TreeProtected reports that the engine maintains a persisted
+	// integrity tree (ancestor tree nodes + MACs) over the counters, so
+	// a commit switch additionally requires the publishing lines' tree
+	// paths to be definitely persisted (invariant V5). The zero value
+	// disables V5 — the historical counters-only analysis.
+	TreeProtected bool
+	// TreePathWithCounter reports that every counter write (an explicit
+	// counter_cache_writeback and the counter half of a CounterAtomic
+	// writeback) carries the line's ancestor tree-node path and MAC, so
+	// the fence that makes the counter definite makes the path definite
+	// too. When false under TreeProtected, tree paths are never written
+	// back and V5 fires on every switch over an unsafe line.
+	TreePathWithCounter bool
+	// TreePathUnordered reports that tree-path writes are emitted but
+	// never fence-ordered: the path never becomes definitely persistent
+	// (the tree analogue of CCWBUnordered). Only meaningful under
+	// TreeProtected with TreePathWithCounter.
+	TreePathUnordered bool
 }
 
 // atomic resolves the engine-effective persistence atomicity of a store.
@@ -253,17 +281,18 @@ func Invariants() []Invariant {
 		{"V2", "no counter-atomic switch while an earlier store's counter is not definitely persisted (garble on crash)"},
 		{"V3", "no in-place transactional mutation before the log seal is definitely persisted"},
 		{"V4", "every store definitely persisted at TxEnd and at end of trace (durability)"},
+		{"V5", "no counter-atomic switch while an ancestor integrity-tree node of an earlier store is not definitely persisted (tree-protected engines)"},
 	}
 }
 
 // Violation is one invariant breach, anchored to the op that opens the
 // earliest violating crash class.
 type Violation struct {
-	Inv      string   // "V0".."V4"
+	Inv      string   // "V0".."V5"
 	OpIndex  int      // op opening the violating class
 	Addr     mem.Addr // the dependency/victim line (not the switch)
 	Message  string
-	Schedule *Schedule // reproducing crash schedule (nil for V0)
+	Schedule *Schedule // reproducing crash schedule (nil for V0 and V5)
 }
 
 // String renders the violation in the linter's one-line form.
@@ -294,6 +323,9 @@ type lineState struct {
 
 	ctrWBAt int  // in-flight counter writeback covering the latest bump (-1: none)
 	ctrSafe bool // NVM counter definitely matches the latest content
+
+	treeWBAt int  // in-flight tree-path writeback for the latest bump (-1: none)
+	treeSafe bool // NVM ancestor tree nodes definitely match the latest content
 }
 
 // safe reports the line is definitely readable-as-latest after any crash.
@@ -331,11 +363,13 @@ func Verify(tr *trace.Trace, opts Options) Result {
 	}
 	v := &verifier{
 		opts:   opts,
-		model:  Model{CCWBOrdered: true},
 		lines:  make(map[mem.Addr]*lineState),
 		groups: make(map[mem.Addr][]mem.Addr),
 	}
 	if opts.Model != nil {
+		// The zero Model IS the default semantics, so copying an explicit
+		// &Model{} here is identical to leaving v.model zero — nil and
+		// zero Options.Model cannot diverge.
 		v.model = *opts.Model
 	}
 	switch {
@@ -378,7 +412,7 @@ func (v *verifier) line(a mem.Addr) *lineState {
 	a = a.LineAddr()
 	ls, ok := v.lines[a]
 	if !ok {
-		ls = &lineState{addr: a, storedAt: -1, dataWBAt: -1, ctrWBAt: -1}
+		ls = &lineState{addr: a, storedAt: -1, dataWBAt: -1, ctrWBAt: -1, treeWBAt: -1}
 		v.lines[a] = ls
 		v.lineOrder = append(v.lineOrder, a)
 		g := ctrGroup(a)
@@ -415,13 +449,18 @@ func (v *verifier) step(tr *trace.Trace, i int, op trace.Op) {
 		if ls.storedAt >= 0 && !ls.dataSafe && ls.dataWBAt < 0 {
 			ls.dataWBAt = i
 			if ls.ca {
-				// A CounterAtomic writeback carries its counter.
+				// A CounterAtomic writeback carries its counter — and, on
+				// a tree-protected engine whose metadata travels with the
+				// counter write, the ancestor tree path too.
 				ls.ctrWBAt = i
+				if v.model.TreeProtected && v.model.TreePathWithCounter {
+					ls.treeWBAt = i
+				}
 			}
 		}
 	case trace.CCWB:
 		v.classes++
-		if !v.model.CCWBOrdered {
+		if v.model.CCWBUnordered {
 			// The writeback emits traffic the fence never waits for: no
 			// counter becomes definitely persistent through it.
 			break
@@ -431,6 +470,9 @@ func (v *verifier) step(tr *trace.Trace, i int, op trace.Op) {
 			ls := v.lines[a]
 			if ls.storedAt >= 0 && !ls.ca && !ls.ctrSafe && ls.ctrWBAt < 0 {
 				ls.ctrWBAt = i
+				if v.model.TreeProtected && v.model.TreePathWithCounter {
+					ls.treeWBAt = i
+				}
 			}
 		}
 	case trace.Sfence:
@@ -445,6 +487,12 @@ func (v *verifier) step(tr *trace.Trace, i int, op trace.Op) {
 			if ls.ctrWBAt >= 0 {
 				ls.ctrSafe = true
 				ls.ctrWBAt = -1
+			}
+			if ls.treeWBAt >= 0 {
+				if !v.model.TreePathUnordered {
+					ls.treeSafe = true
+				}
+				ls.treeWBAt = -1
 			}
 		}
 	case trace.TxBegin:
@@ -480,6 +528,8 @@ func (v *verifier) applyWrite(i int, op trace.Op) {
 	ls.dataWBAt = -1
 	ls.ctrSafe = false
 	ls.ctrWBAt = -1
+	ls.treeSafe = false
+	ls.treeWBAt = -1
 	if op.CounterAtomic && v.inTx && v.isLog != nil && v.isLog(op.Addr) {
 		if v.sealSeen && op.Addr.LineAddr() == v.sealLine {
 			// The commit record releases the seal.
@@ -501,31 +551,47 @@ func (v *verifier) sealDurable() bool {
 	return v.lines[v.sealLine].safe()
 }
 
-// checkSwitch verifies V1/V2 at a CounterAtomic store: in the class this
-// op opens, the switch line is possibly-persisted (eviction suffices), so
-// every earlier store it publishes must already be definitely readable.
+// checkSwitch verifies V1/V2/V5 at a CounterAtomic store: in the class
+// this op opens, the switch line is possibly-persisted (eviction
+// suffices), so every earlier store it publishes must already be
+// definitely readable — and, on a tree-protected engine, definitely
+// verifiable: its ancestor tree nodes persisted too.
 func (v *verifier) checkSwitch(tr *trace.Trace, i int, op trace.Op) {
 	target := op.Addr.LineAddr()
 	for _, a := range v.lineOrder {
 		ls := v.lines[a]
-		if a == target || ls.storedAt < 0 || ls.safe() {
+		if a == target || ls.storedAt < 0 {
 			continue
 		}
-		if !ls.dataSafe {
+		if !ls.safe() {
+			if !ls.dataSafe {
+				v.res.Violations = append(v.res.Violations, Violation{
+					Inv: "V1", OpIndex: i, Addr: a,
+					Message: fmt.Sprintf("counter-atomic switch of %#x while data of line %#x (stored at op %d) is not definitely persisted",
+						target, a, ls.storedAt),
+					Schedule: v.switchSchedule(tr, i, ls),
+				})
+				continue
+			}
 			v.res.Violations = append(v.res.Violations, Violation{
-				Inv: "V1", OpIndex: i, Addr: a,
-				Message: fmt.Sprintf("counter-atomic switch of %#x while data of line %#x (stored at op %d) is not definitely persisted",
+				Inv: "V2", OpIndex: i, Addr: a,
+				Message: fmt.Sprintf("counter-atomic switch of %#x while the counter of line %#x (stored at op %d) is not definitely persisted: the line decrypts to garbage in some crash class",
 					target, a, ls.storedAt),
 				Schedule: v.switchSchedule(tr, i, ls),
 			})
 			continue
 		}
-		v.res.Violations = append(v.res.Violations, Violation{
-			Inv: "V2", OpIndex: i, Addr: a,
-			Message: fmt.Sprintf("counter-atomic switch of %#x while the counter of line %#x (stored at op %d) is not definitely persisted: the line decrypts to garbage in some crash class",
-				target, a, ls.storedAt),
-			Schedule: v.switchSchedule(tr, i, ls),
-		})
+		if v.model.TreeProtected && !ls.treeSafe {
+			// Data and counter are durable but an ancestor tree node is
+			// not: after a crash the line fails integrity verification
+			// even though it would decrypt correctly. The functional
+			// replay harness has no tree to lose, so no Schedule.
+			v.res.Violations = append(v.res.Violations, Violation{
+				Inv: "V5", OpIndex: i, Addr: a,
+				Message: fmt.Sprintf("counter-atomic switch of %#x while an ancestor tree node of line %#x (stored at op %d) is not definitely persisted: the line fails integrity verification in some crash class",
+					target, a, ls.storedAt),
+			})
+		}
 	}
 }
 

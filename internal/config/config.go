@@ -51,10 +51,26 @@ const (
 	// primitives are required — legacy persistency code becomes crash
 	// consistent on encrypted NVMM.
 	Osiris
+	// BMT is SCA plus a persisted Bonsai Merkle tree over the counters
+	// (Freij et al.): every counter writeback additionally carries the
+	// line's ancestor tree-node path and MAC into the counter write
+	// queue, so a drained queue leaves the tree verifiable. Recovery
+	// re-walks each line to the tree root and detects torn paths.
+	BMT
+	// SecPM is a write-through metadata scheme (Zuo et al.): the
+	// combined counter+MAC line is enqueued with every data write
+	// (coalescing in the counter write queue provides the paper's
+	// counter write coalescing), so metadata is crash consistent by
+	// construction and no ordering primitives or recovery search are
+	// needed.
+	SecPM
 )
 
-// AllDesigns lists every design in presentation order: the paper's six
-// plus the Osiris-style extension.
+// AllDesigns lists every design in the paper's presentation order: the
+// paper's six plus the Osiris-style extension. The integrity-tree
+// designs (BMT, SecPM) are deliberately excluded — they extend the
+// threat model past the paper's figures and are compared separately by
+// the integrity experiment.
 var AllDesigns = []Design{NoEncryption, Ideal, CoLocated, CoLocatedCC, FCA, SCA, Osiris}
 
 // String returns the design's name as used in the paper's figures.
@@ -74,6 +90,10 @@ func (d Design) String() string {
 		return "SCA"
 	case Osiris:
 		return "Osiris"
+	case BMT:
+		return "BMT"
+	case SecPM:
+		return "SecPM"
 	default:
 		return fmt.Sprintf("Design(%d)", int(d))
 	}
@@ -85,7 +105,8 @@ func (d Design) Encrypted() bool { return d != NoEncryption }
 // UsesCounterCache reports whether the design holds counters in an on-chip
 // counter cache (every encrypted design except plain CoLocated).
 func (d Design) UsesCounterCache() bool {
-	return d == Ideal || d == CoLocatedCC || d == FCA || d == SCA || d == Osiris
+	return d == Ideal || d == CoLocatedCC || d == FCA || d == SCA || d == Osiris ||
+		d == BMT || d == SecPM
 }
 
 // CoLocatesCounters reports whether data and counter travel as one 72B
@@ -95,7 +116,8 @@ func (d Design) CoLocatesCounters() bool { return d == CoLocated || d == CoLocat
 // SeparateCounterWrites reports whether counters are written back to a
 // separate counter region with their own write accesses.
 func (d Design) SeparateCounterWrites() bool {
-	return d == Ideal || d == FCA || d == SCA || d == Osiris
+	return d == Ideal || d == FCA || d == SCA || d == Osiris ||
+		d == BMT || d == SecPM
 }
 
 // CacheConfig describes one set-associative cache.

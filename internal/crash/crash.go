@@ -44,7 +44,7 @@ type Result struct {
 	LostCounterLines int          `json:"lost_counter_lines"` // dirty counter-cache lines lost at the crash
 	RecoveredEntries int          `json:"recovered_entries"`  // undo-log entries rolled back
 	CorruptLog       int          `json:"corrupt_log"`        // log entries rejected as garbage
-	Osiris           RecoveryCost `json:"osiris"`             // candidate-search work (Osiris design only)
+	Osiris           RecoveryCost `json:"osiris"`             // firmware recovery work (Osiris candidate search; BMT root-walk verification)
 	Err              error        `json:"-"`                  // non-nil: recovery produced an inconsistent state
 	// Error mirrors Err for the wire: error values do not round-trip
 	// JSON, strings do. Omitted when recovery was consistent.

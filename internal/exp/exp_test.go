@@ -349,3 +349,33 @@ func TestFig12Deterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestIntegrityShapeQuick(t *testing.T) {
+	res, err := Integrity(Quick, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workloads) != 5 {
+		t.Fatalf("workloads = %d", len(res.Workloads))
+	}
+	// Core orderings the integrity literature reports: BMT's tree-path
+	// writes inflate write traffic well past counters-only SCA, and
+	// SecPM — no annotations, no blocking writebacks — never runs slower
+	// than BMT.
+	for _, w := range res.Workloads {
+		if v := res.Traffic[w][config.BMT]; v <= 1.0 {
+			t.Errorf("%s: BMT traffic %.3f not above the SCA baseline", w, v)
+		}
+		if v := res.Runtime[w][config.BMT]; v < 0.95 {
+			t.Errorf("%s: BMT runtime %.3f below baseline — tree paths cannot be free", w, v)
+		}
+		if res.Runtime[w][config.SecPM] > res.Runtime[w][config.BMT] {
+			t.Errorf("%s: SecPM (%.3f) slower than BMT (%.3f)", w,
+				res.Runtime[w][config.SecPM], res.Runtime[w][config.BMT])
+		}
+	}
+	if res.AvgTraffic[config.BMT] <= res.AvgTraffic[config.SecPM] {
+		t.Errorf("average traffic: BMT %.3f !> SecPM %.3f",
+			res.AvgTraffic[config.BMT], res.AvgTraffic[config.SecPM])
+	}
+}

@@ -1,5 +1,5 @@
 // Package engines defines the MetadataEngine interface — the pluggable
-// policy seam of the machine architecture — and its seven concrete
+// policy seam of the machine architecture — and its nine concrete
 // implementations, one per evaluated memory-system design.
 //
 // A MetadataEngine answers every question the memory controller and the
@@ -8,10 +8,11 @@
 // counter region behind a counter cache), when a write must be
 // counter-atomic, whether write acceptance is strict FIFO, whether
 // counter_cache_writeback() produces traffic and blocks persist barriers,
-// and how post-crash recovery reconstructs plaintext from whatever landed
-// in NVM. New designs (integrity-tree metadata, SecPM-style write
-// reduction) become new implementations of this interface registered as
-// machine specs — no controller edits required.
+// how much integrity-tree metadata each counter write drags along (or
+// whether metadata writes through with the data, SecPM-style), and how
+// post-crash recovery reconstructs plaintext from whatever landed in
+// NVM. New designs become new implementations of this interface
+// registered as machine specs — no controller edits required.
 //
 // The package is a leaf: it imports only the functional model (config,
 // mem, ctrenc), never the controller, so both internal/memctrl and
@@ -76,6 +77,25 @@ type Engine interface {
 	// rule entirely (0 writes the counter back with every data write).
 	StopLossLimit(cfg *config.Config) int
 
+	// IntegrityProtected reports whether the engine maintains persisted
+	// integrity metadata (tree nodes and MACs) over the counters, so a
+	// post-crash image must also be tree-verifiable (invariant V5).
+	IntegrityProtected() bool
+	// TreePathWrites returns how many extra metadata line writes each
+	// counter write carries: the line's ancestor tree-node path plus its
+	// MAC line for a Bonsai-Merkle-tree engine, 0 for engines without a
+	// persisted tree (or whose metadata travels with the data write).
+	TreePathWrites(cfg *config.Config) int
+	// TreePathOrdered reports that the tree-path writes enter the ADR
+	// domain together with the counter write they accompany — the fence
+	// that makes the counter durable makes the path durable too.
+	TreePathOrdered() bool
+	// MetadataWriteThrough reports that the combined counter+MAC
+	// metadata line is enqueued with every data write (SecPM): metadata
+	// is crash consistent by construction, and separate counter
+	// durability is never at risk.
+	MetadataWriteThrough() bool
+
 	// CrashConsistent is the design's crash-consistency claim: whether a
 	// correctly annotated program recovers to a consistent plaintext
 	// image from any crash point. The claim is an input, not a derived
@@ -87,9 +107,10 @@ type Engine interface {
 
 	// Recover reconstructs the plaintext view of a post-crash NVM image
 	// the way this design's firmware would, from the completed device
-	// writes. The cost is zero for every engine but Osiris, whose
+	// writes. The cost is zero for every engine except Osiris (whose
 	// checksum-guided candidate search is the quantity the Anubis
-	// follow-on optimizes.
+	// follow-on optimizes) and BMT (whose root walk charges one MAC
+	// verification per line and reports torn tree paths unrecovered).
 	Recover(cfg *config.Config, lay mem.Layout, enc *ctrenc.Engine,
 		writes map[mem.Addr]mem.Write) (*mem.Space, RecoveryCost)
 }
@@ -107,7 +128,7 @@ type RecoveryCost struct {
 }
 
 // policy is the shared implementation: a declarative per-design policy
-// table. The seven engines differ only in this data; behaviorally novel
+// table. The nine engines differ only in this data; behaviorally novel
 // designs implement Engine directly.
 type policy struct {
 	name     string
@@ -123,6 +144,8 @@ type policy struct {
 	ccwbEmit bool // ccwb produces a counter write
 	ccwbWait bool // ccwb blocks the persist barrier
 	stopLoss bool // Osiris stop-loss counter writes
+	integ    bool // persisted integrity tree + MACs over the counters
+	wthru    bool // combined counter+MAC enqueued with every data write
 
 	consistent bool // the design's crash-consistency claim
 }
@@ -138,6 +161,16 @@ func (p *policy) PairsEveryWrite() bool        { return p.pairs }
 func (p *policy) CounterWritebackEmits() bool  { return p.ccwbEmit }
 func (p *policy) CounterWritebackBlocks() bool { return p.ccwbWait }
 func (p *policy) CrashConsistent() bool        { return p.consistent }
+func (p *policy) IntegrityProtected() bool     { return p.integ }
+func (p *policy) MetadataWriteThrough() bool   { return p.wthru }
+func (p *policy) TreePathOrdered() bool        { return true }
+
+func (p *policy) TreePathWrites(cfg *config.Config) int {
+	if !p.integ || p.wthru {
+		return 0
+	}
+	return TreeDepth(cfg) + 1 // ancestor path + the line's MAC line
+}
 
 func (p *policy) WriteIsCounterAtomic(annotated bool) bool {
 	if p.forceCA {
@@ -162,7 +195,25 @@ func (p *policy) Recover(cfg *config.Config, lay mem.Layout, enc *ctrenc.Engine,
 	if p.stopLoss {
 		return recoverOsiris(cfg, lay, enc, writes)
 	}
+	if p.integ && !p.wthru {
+		return recoverBMT(lay, enc, writes)
+	}
 	return recoverCounters(lay, enc, writes), RecoveryCost{}
+}
+
+// TreeDepth returns the number of interior Bonsai-Merkle-tree levels
+// between a counter line and the (always on-chip) tree root for the
+// given geometry: counter lines fan in CountersPerLine-to-one per level.
+// With the Table-2 defaults (8GB memory, 64B lines, 8 counters per
+// line) the tree is 8 levels deep.
+func TreeDepth(cfg *config.Config) int {
+	arity := uint64(cfg.CountersPerLine())
+	counterLines := cfg.MemoryBytes / uint64(cfg.LineBytes) / arity
+	depth := 0
+	for n := counterLines; n > 1; n = (n + arity - 1) / arity {
+		depth++
+	}
+	return depth
 }
 
 // recoverCounters decrypts every data line with the counter present in the
@@ -232,7 +283,45 @@ func recoverOsiris(cfg *config.Config, lay mem.Layout, enc *ctrenc.Engine,
 	return space, cost
 }
 
-// The seven concrete engines (paper §6.1 plus the Osiris extension).
+// recoverBMT reconstructs plaintext the way Bonsai-Merkle-tree firmware
+// would: decrypt each data line with the counter persisted in the image,
+// then verify the result against the tree by re-walking the line's
+// ancestor path to the root (modeled through the persisted per-line
+// checksum, the same device-side integrity witness Osiris recovery
+// uses). A line whose verification fails had a torn counter/tree path:
+// it is reported unrecovered and stays garbled, exactly what a root
+// mismatch means on real hardware. One trial is charged per line for
+// the root walk's MAC verification.
+func recoverBMT(lay mem.Layout, enc *ctrenc.Engine,
+	writes map[mem.Addr]mem.Write) (*mem.Space, RecoveryCost) {
+
+	space := mem.NewSpace()
+	var cost RecoveryCost
+	for addr, w := range writes {
+		if !lay.IsData(addr) {
+			continue
+		}
+		cost.Lines++
+		cost.Trials++
+		if enc == nil {
+			space.WriteLine(addr, w.Data)
+			continue
+		}
+		var ctr uint64
+		if cl, ok := writes[lay.CounterLine(addr)]; ok {
+			ctr = ctrenc.UnpackCounterLine(cl.Data)[lay.CounterSlot(addr)]
+		}
+		plain := enc.Decrypt(w.Data, addr, ctr)
+		if ctrenc.Checksum(plain, addr) != w.Sum {
+			cost.Unrecovered++
+		}
+		space.WriteLine(addr, plain)
+	}
+	return space, cost
+}
+
+// The nine concrete engines: the paper's six (§6.1), the Osiris
+// extension, and the two integrity-tree designs.
 var (
 	// Plaintext is an NVMM system without any encryption.
 	Plaintext Engine = &policy{name: "noenc", design: config.NoEncryption,
@@ -265,13 +354,29 @@ var (
 	Osiris Engine = &policy{name: "osiris", design: config.Osiris,
 		enc: true, cache: true, sep: true, dropCA: true, stopLoss: true,
 		consistent: true}
+	// BMT is SCA plus a persisted Bonsai Merkle tree: every counter
+	// write additionally carries the line's ancestor tree-node path and
+	// MAC into the counter write queue (Freij et al.'s streamlined tree
+	// update), so the fence that makes a counter durable makes its path
+	// durable too and V5 holds wherever V2 does.
+	BMT Engine = &policy{name: "bmt", design: config.BMT,
+		enc: true, cache: true, sep: true, ccwbEmit: true, ccwbWait: true,
+		integ: true, consistent: true}
+	// SecPM writes the combined counter+MAC metadata line through with
+	// every data write (Zuo et al.); the counter write queue's
+	// coalescing provides the paper's counter write coalescing. Crash
+	// consistent by construction: no annotations, no ordering
+	// primitives, no recovery search.
+	SecPM Engine = &policy{name: "secpm", design: config.SecPM,
+		enc: true, cache: true, sep: true, dropCA: true, integ: true,
+		wthru: true, consistent: true}
 )
 
 // byName indexes the built-in engines.
 var byName = map[string]Engine{}
 
 func init() {
-	for _, e := range []Engine{Plaintext, Ideal, CoLocated, CoLocatedCC, FCA, SCA, Osiris} {
+	for _, e := range []Engine{Plaintext, Ideal, CoLocated, CoLocatedCC, FCA, SCA, Osiris, BMT, SecPM} {
 		byName[e.Name()] = e
 	}
 }

@@ -143,6 +143,19 @@ type Controller struct {
 	// last headed to NVM; nil unless the engine enforces a stop-loss rule.
 	stopLossLag   map[mem.Addr]int
 	stopLossLimit int
+
+	// treeExtraBytes widens every fresh counter-queue entry by the
+	// engine's integrity-tree path (ancestor tree nodes + MAC line, BMT):
+	// the path travels with the counter write, so coalescing a counter
+	// write coalesces its path too — Freij-style streamlined tree
+	// updates. Zero for engines without a persisted tree.
+	treeExtraBytes int
+	// writeThrough enqueues the combined counter+MAC metadata line with
+	// every data write (SecPM): metadata enters the ADR domain at the
+	// same accept instant as its data, making it crash consistent by
+	// construction, while counter-queue coalescing supplies the scheme's
+	// counter write coalescing.
+	writeThrough bool
 }
 
 // New builds a controller over the given device, with the given metadata
@@ -158,6 +171,8 @@ func New(eng *sim.Engine, cfg *config.Config, meta engines.Engine, dev *nvm.Devi
 		ctrs:          ctrenc.NewCounters(),
 		stopLossLimit: meta.StopLossLimit(cfg),
 	}
+	mc.treeExtraBytes = cfg.LineBytes * meta.TreePathWrites(cfg)
+	mc.writeThrough = meta.MetadataWriteThrough()
 	if meta.Encrypted() {
 		mc.enc = ctrenc.NewDefault()
 	}
@@ -678,6 +693,19 @@ func (mc *Controller) acceptData(req *writeReq) {
 		cryptoDelay = mc.cfg.CryptoLatency
 		mc.touchCounterCacheForWrite(req.addr)
 		mc.stopLoss(req.addr, cryptoDelay)
+		if mc.writeThrough {
+			// SecPM: the combined counter+MAC line rides along with every
+			// data write. Queueing it here puts metadata into the ADR
+			// domain at the same accept instant as the data (crash
+			// consistent by construction); back-to-back writes covered by
+			// one counter line coalesce in queueCounterEntry, which is
+			// the scheme's counter write coalescing.
+			cl := mc.layout.CounterLine(req.addr)
+			mc.queueCounterEntry(cl, cryptoDelay)
+			if mc.ctrC != nil {
+				mc.ctrC.Clean(cl)
+			}
+		}
 	} else {
 		cipher = req.plain
 	}
@@ -729,7 +757,7 @@ func (mc *Controller) acceptData(req *writeReq) {
 			// (§4.1) and keeps its 16-entry counter queue under
 			// pressure (Fig. 7a's serialization).
 			ce := mc.getEntry()
-			ce.addr, ce.data, ce.nbytes, ce.ca = cl, mc.packCounterLine(cl), 64, true
+			ce.addr, ce.data, ce.nbytes, ce.ca = cl, mc.packCounterLine(cl), 64+mc.treeExtraBytes, true
 			ce.deadline = mc.eng.Now() + cryptoDelay
 			mc.pushCounter(ce)
 			mc.makeEligible(ce, cryptoDelay)
@@ -787,7 +815,7 @@ func (mc *Controller) queueCounterEntry(cl mem.Addr, cryptoDelay sim.Time) {
 		}
 	}
 	e := mc.getEntry()
-	e.addr, e.data, e.nbytes = cl, mc.packCounterLine(cl), 64
+	e.addr, e.data, e.nbytes = cl, mc.packCounterLine(cl), 64+mc.treeExtraBytes
 	e.deadline = mc.eng.Now() + cryptoDelay + counterLinger
 	mc.pushCounter(e)
 	mc.makeEligible(e, cryptoDelay)
