@@ -11,11 +11,20 @@
 //	       [-metrics-window-ns 1000] [-manifest-out run.manifest.json]
 //	nvmsim -spec machine.json [-workload btree] ...
 //	nvmsim [-design sca | -spec machine.json] -dump-spec
+//	nvmsim -record-trace run.bin [-workload btree] ...
+//	nvmsim -replay-trace run.bin [-design sca] ...
 //
 // -design names a registered machine spec (the seven paper designs are
 // built in); -spec loads a declarative machine spec from a JSON file
 // instead. -dump-spec prints the fully resolved spec for the selected
 // machine and exits — its output round-trips through -spec.
+//
+// -record-trace additionally serializes the workload's per-core traces
+// to a binary trace file (the streaming IR) before the run; trace
+// generation is deterministic, so the file replays byte-identically.
+// -replay-trace skips workload generation entirely and replays a
+// recorded file, decoding records in place — the two paths produce
+// identical manifests for the same workload and parameters.
 package main
 
 import (
@@ -26,10 +35,12 @@ import (
 	"strings"
 
 	"encnvm/internal/core"
+	"encnvm/internal/crash"
 	"encnvm/internal/machine"
 	"encnvm/internal/perf"
 	"encnvm/internal/probe"
 	"encnvm/internal/sim"
+	"encnvm/internal/trace"
 	"encnvm/internal/workloads"
 )
 
@@ -71,6 +82,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write windowed JSONL time-series metrics to this file")
 	metricsWindowNS := flag.Uint64("metrics-window-ns", 1000, "metrics window length in simulated nanoseconds")
 	manifestOut := flag.String("manifest-out", "", "write the machine-readable run manifest to this file")
+	recordTrace := flag.String("record-trace", "", "serialize the workload's per-core traces to this binary trace file before running")
+	replayTrace := flag.String("replay-trace", "", "replay a recorded binary trace file instead of generating the workload (-workload must name the recorded workload for -verify)")
 	version := flag.Bool("version", false, "print build/version information and exit")
 	perfOpts := perf.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -131,15 +144,52 @@ func main() {
 	params := workloads.Params{
 		Seed: *seed, Items: *items, Ops: *ops, OpsPerTx: *opsPerTx,
 	}
-	res, err := core.RunWorkload(core.Options{
-		Spec:     spec,
-		Workload: *workload,
-		Params:   params,
-		Probe:    pb,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var res core.Result
+	switch {
+	case *replayTrace != "":
+		if *recordTrace != "" {
+			fmt.Fprintln(os.Stderr, "-record-trace and -replay-trace are mutually exclusive")
+			os.Exit(2)
+		}
+		readers, err := trace.ReadTracesFile(*replayTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *specPath == "" {
+			// The recorded file fixes the core count; the registered-spec
+			// path adopts it so -cores need not be repeated at replay.
+			spec.Cores = len(readers)
+		}
+		res, err = core.RunSpecSourcesObserved(spec, *workload, trace.BinSources(readers), pb)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		if *recordTrace != "" {
+			w, _ := workloads.ByName(*workload)
+			cfg, err := spec.Config()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := crash.RecordTraces(w, params.WithDefaults(), cfg.NumCores, *recordTrace); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		var err error
+		res, err = core.RunWorkload(core.Options{
+			Spec:     spec,
+			Workload: *workload,
+			Params:   params,
+			Probe:    pb,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if err := pb.Close(res.System.Eng.Now()); err != nil {
 		fmt.Fprintln(os.Stderr, err)

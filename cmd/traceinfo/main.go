@@ -7,12 +7,21 @@
 //
 //	traceinfo [-workload btree] [-items N] [-ops N] [-opspertx N]
 //	          [-mode undo|redo] [-legacy] [-check]
+//	traceinfo -in run.bin [-check]
+//
+// With -in, the trace is read from a binary trace file recorded by
+// nvmsim -record-trace (or crash.RecordTraces) instead of being
+// generated, and every core in the file is analyzed; records are decoded
+// in place from the mapped bytes, never materialized into a trace.Trace.
+// The setup/heap lines only appear in generated mode — a recorded file
+// does not mark the setup boundary.
 //
 // With -check, the trace is additionally linted by internal/check against
 // the crash-consistency ordering rules R1–R5 (§4.2–§4.3) and the command
 // exits nonzero on any diagnostic. A -legacy trace is expected to be
 // flagged: software unaware of counters cannot follow the protocol, which
-// is the paper's §2.2 motivating failure.
+// is the paper's §2.2 motivating failure. (In -in mode the file carries
+// no arena geometry, so the log classifier — and with it R5 — is off.)
 //
 // Exit status: 0 clean, 1 lint diagnostics found, 2 usage error or an
 // internally inconsistent trace.
@@ -40,12 +49,14 @@ func main() {
 	mode := flag.String("mode", "undo", "transaction mechanism: undo|redo")
 	legacy := flag.Bool("legacy", false, "legacy (pre-paper) persistency primitives")
 	seed := flag.Int64("seed", 42, "workload RNG seed")
+	in := flag.String("in", "", "analyze this binary trace file instead of generating a workload trace")
 	doCheck := flag.Bool("check", false, "lint the trace against crash-consistency rules R1-R5")
 	version := flag.Bool("version", false, "print build/version information and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: traceinfo [-workload name] [-items N] [-ops N] [-opspertx N]\n"+
-				"                 [-mode undo|redo] [-legacy] [-seed N] [-check]\n\n"+
+				"                 [-mode undo|redo] [-legacy] [-seed N] [-check]\n"+
+				"       traceinfo -in run.bin [-check]\n\n"+
 				"Exit status: 0 clean, 1 lint diagnostics found, 2 usage error or\n"+
 				"an internally inconsistent trace.\n\n")
 		flag.PrintDefaults()
@@ -56,6 +67,31 @@ func main() {
 		perf.PrintVersion(os.Stdout, "traceinfo")
 		return
 	}
+
+	if *in != "" {
+		// Recorded-trace mode: decode in place and analyze every core.
+		// NewBinReader already validated structure, so no Validate gate.
+		readers, err := trace.ReadTracesFile(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace invalid: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("trace file      %s (%d cores, binary records)\n", *in, len(readers))
+		bad := false
+		for i, r := range readers {
+			fmt.Printf("\n=== core %d ===\n", i)
+			fmt.Printf("trace length    %d ops\n", r.Len())
+			analyze(r, 0, false)
+			if *doCheck && lint(r, nil) {
+				bad = true
+			}
+		}
+		if bad {
+			os.Exit(1)
+		}
+		return
+	}
+
 	w, err := workloads.ByName(*workload)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -91,7 +127,28 @@ func main() {
 		float64(tr.FootprintLines())*mem.LineBytes/1024)
 	fmt.Printf("heap used       %.1f KB\n", float64(rt.HeapUsed())/1024)
 
-	counts := tr.Counts()
+	analyze(tr, setupLen, true)
+
+	if *doCheck {
+		arena := rt.Arena()
+		if lint(tr, []persist.Arena{arena}) {
+			os.Exit(1)
+		}
+	}
+}
+
+// analyze prints the op histogram and persist-primitive shape of one
+// core's trace through the cursor interface. When header is false the
+// transactions/footprint lines were not printed by the caller, so they
+// are emitted here (the -in path).
+func analyze(tr trace.Source, setupLen int, header bool) {
+	if !header {
+		fmt.Printf("transactions    %d\n", trace.TransactionsOf(tr))
+		fmt.Printf("data footprint  %d lines (%.1f KB)\n", trace.FootprintLinesOf(tr),
+			float64(trace.FootprintLinesOf(tr))*mem.LineBytes/1024)
+	}
+
+	counts := trace.CountsOf(tr)
 	fmt.Println("\nop histogram:")
 	for _, k := range []trace.Kind{trace.Read, trace.Write, trace.Clwb, trace.CCWB,
 		trace.Sfence, trace.Compute, trace.TxBegin, trace.TxEnd} {
@@ -103,7 +160,9 @@ func main() {
 	caStores, caLines := 0, map[mem.Addr]bool{}
 	writeLines := map[mem.Addr]bool{}
 	measured := map[trace.Kind]int{}
-	for i, op := range tr.Ops {
+	var op trace.Op
+	for i, n := 0, tr.Len(); i < n; i++ {
+		tr.Op(i, &op)
 		if i >= setupLen {
 			measured[op.Kind]++
 		}
@@ -117,27 +176,29 @@ func main() {
 	}
 	fmt.Printf("\ncounter-atomic stores   %d (%.2f%% of writes, %d distinct lines)\n",
 		caStores, pct(caStores, counts[trace.Write]), len(caLines))
-	if tx := tr.Transactions(); tx > 0 {
+	if tx := trace.TransactionsOf(tr); tx > 0 {
 		fmt.Printf("per transaction         %.1f writes, %.1f clwb, %.1f ccwb, %.1f fences, %.1f reads\n",
 			avg(measured[trace.Write], tx), avg(measured[trace.Clwb], tx),
 			avg(measured[trace.CCWB], tx), avg(measured[trace.Sfence], tx),
 			avg(measured[trace.Read], tx))
 	}
 	fmt.Printf("distinct lines written  %d\n", len(writeLines))
+}
 
-	if *doCheck {
-		diags := check.Check(tr, check.Options{Arenas: []persist.Arena{rt.Arena()}})
-		fmt.Println("\ncrash-consistency lint (rules R1-R5):")
-		if len(diags) == 0 {
-			fmt.Println("  clean — no ordering-rule violations")
-			return
-		}
-		for _, d := range diags {
-			fmt.Printf("  %s\n", d)
-		}
-		fmt.Printf("persistcheck: %d diagnostic(s)\n", len(diags))
-		os.Exit(1)
+// lint runs the R1-R5 linter over the trace and prints its findings;
+// reports whether any diagnostic fired.
+func lint(tr trace.Source, arenas []persist.Arena) bool {
+	diags := check.Check(tr, check.Options{Arenas: arenas})
+	fmt.Println("\ncrash-consistency lint (rules R1-R5):")
+	if len(diags) == 0 {
+		fmt.Println("  clean — no ordering-rule violations")
+		return false
 	}
+	for _, d := range diags {
+		fmt.Printf("  %s\n", d)
+	}
+	fmt.Printf("persistcheck: %d diagnostic(s)\n", len(diags))
+	return true
 }
 
 func pct(n, of int) float64 {

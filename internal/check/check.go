@@ -66,15 +66,20 @@ type Rule interface {
 // Check lints the trace and returns all diagnostics, sorted by op index.
 // Malformed ops (per trace.Op.Validate) and unbalanced transaction
 // markers are reported under the pseudo-rule R0 and excluded from the
-// persistence state machine rather than trusted.
-func Check(tr *trace.Trace, opts Options) []Diagnostic {
+// persistence state machine rather than trusted. The trace arrives as a
+// cursor so campaigns can lint binary trace files they never
+// materialize; *trace.Trace satisfies Source directly.
+func Check(tr trace.Source, opts Options) []Diagnostic {
 	rules := opts.Rules
 	if rules == nil {
 		rules = DefaultRules()
 	}
 	s := newState(opts)
 	var diags []Diagnostic
-	for i, op := range tr.Ops {
+	var op trace.Op
+	n := tr.Len()
+	for i := 0; i < n; i++ {
+		tr.Op(i, &op)
 		if err := op.Validate(); err != nil {
 			diags = append(diags, Diagnostic{
 				Rule: "R0", OpIndex: i,
@@ -106,7 +111,7 @@ func Check(tr *trace.Trace, opts Options) []Diagnostic {
 		s.apply(i, op)
 	}
 	for _, r := range rules {
-		diags = append(diags, r.Finish(s, len(tr.Ops))...)
+		diags = append(diags, r.Finish(s, n)...)
 	}
 	sortDiagnostics(diags)
 	return diags

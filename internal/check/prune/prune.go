@@ -108,7 +108,7 @@ type Partition struct {
 // its class enumeration cannot be trusted. Other violations do NOT fail
 // the partition: a buggy protocol still has a well-defined crash-point
 // space, and campaigns exist to observe exactly those failures.
-func Compute(tr *trace.Trace, opts Options) (*Partition, error) {
+func Compute(tr trace.Source, opts Options) (*Partition, error) {
 	var states []verify.ClassState
 	res := verify.Verify(tr, verify.Options{
 		Arenas: opts.Arenas,
@@ -151,7 +151,7 @@ func Compute(tr *trace.Trace, opts Options) (*Partition, error) {
 // every certificate. A partition that passes Check is exactly what
 // Compute would produce for (tr, opts); a consumer need not trust the
 // file it decoded.
-func Check(tr *trace.Trace, p *Partition, opts Options) error {
+func Check(tr trace.Source, p *Partition, opts Options) error {
 	if p.Schema != Schema {
 		return fmt.Errorf("prune: schema %q, want %q", p.Schema, Schema)
 	}

@@ -115,10 +115,12 @@ func ReadFile(path string) (*File, error) {
 // (Eq. 4), which the paranoid validators always detect.
 
 // switchSchedule builds the counterexample for a V1/V2 violation at the
-// CounterAtomic store tr.Ops[i], with dep the unsafe earlier store.
+// CounterAtomic store at op index i, with dep the unsafe earlier store.
 // Called on the pre-op state (before applyWrite).
-func (v *verifier) switchSchedule(tr *trace.Trace, i int, dep *lineState) *Schedule {
-	target := tr.Ops[i].Addr.LineAddr()
+func (v *verifier) switchSchedule(tr trace.Source, i int, dep *lineState) *Schedule {
+	var cur trace.Op
+	tr.Op(i, &cur)
+	target := cur.Addr.LineAddr()
 	inv := "V2"
 	if !dep.dataSafe {
 		inv = "V1"
@@ -178,9 +180,11 @@ func (v *verifier) switchSchedule(tr *trace.Trace, i int, dep *lineState) *Sched
 }
 
 // nextTxEnd returns the index of the first TxEnd at or after i, or -1.
-func nextTxEnd(tr *trace.Trace, i int) int {
-	for j := i; j < tr.Len(); j++ {
-		if tr.Ops[j].Kind == trace.TxEnd {
+func nextTxEnd(tr trace.Source, i int) int {
+	var op trace.Op
+	for j, n := i, tr.Len(); j < n; j++ {
+		tr.Op(j, &op)
+		if op.Kind == trace.TxEnd {
 			return j
 		}
 	}
@@ -199,14 +203,15 @@ func nextTxEnd(tr *trace.Trace, i int) int {
 // volatile, so it lands garbled) and the seal, and suppress the dep's
 // unsafe writeback half so the log entry stays unreadable or stale.
 // Recovery then faces a mutated heap it cannot roll back.
-func (v *verifier) sealCorruptionSchedule(tr *trace.Trace, i int, dep *lineState, inv string, target mem.Addr) *Schedule {
+func (v *verifier) sealCorruptionSchedule(tr trace.Source, i int, dep *lineState, inv string, target mem.Addr) *Schedule {
 	end := nextTxEnd(tr, i)
 	if end < 0 {
 		end = tr.Len()
 	}
 	m := -1
+	var op trace.Op
 	for j := i + 1; j < end; j++ {
-		op := tr.Ops[j]
+		tr.Op(j, &op)
 		if op.Kind != trace.Write || op.CounterAtomic || v.isLog(op.Addr) {
 			continue
 		}
@@ -230,11 +235,12 @@ func (v *verifier) sealCorruptionSchedule(tr *trace.Trace, i int, dep *lineState
 	if !dep.ctrSafe && dep.ctrWBAt >= 0 && !dep.ca {
 		drop = append(drop, LandEntry{Addr: uint64(dep.addr), Ctr: true, Op: dep.ctrWBAt})
 	}
+	tr.Op(m, &op)
 	return &Schedule{
 		Core: v.opts.Core, CrashOp: m, Kind: KindConsistency,
 		Inv: inv, Victim: uint64(dep.addr),
 		Land: []LandEntry{
-			{Addr: uint64(tr.Ops[m].Addr.LineAddr()), Evict: true},
+			{Addr: uint64(op.Addr.LineAddr()), Evict: true},
 			{Addr: uint64(target), Evict: true},
 		},
 		Drop: drop,
@@ -248,18 +254,19 @@ func (v *verifier) sealCorruptionSchedule(tr *trace.Trace, i int, dep *lineState
 // any writeback of it issued between the switch and TxEnd. The commit's
 // own flush and fence are intact, so recovery retires the log entry, and
 // the dep line is left stale, or garbled when its counter landed alone.
-func (v *verifier) commitLossSchedule(tr *trace.Trace, i int, dep *lineState, inv string) *Schedule {
+func (v *verifier) commitLossSchedule(tr trace.Source, i int, dep *lineState, inv string) *Schedule {
 	end := nextTxEnd(tr, i)
 	if end < 0 {
 		return nil
 	}
 	var drop []LandEntry
+	var op trace.Op
 	if !dep.dataSafe {
 		if dep.dataWBAt >= 0 {
 			drop = append(drop, LandEntry{Addr: uint64(dep.addr), Op: dep.dataWBAt})
 		}
 		for j := i + 1; j < end; j++ {
-			op := tr.Ops[j]
+			tr.Op(j, &op)
 			if op.Kind == trace.Clwb && op.Addr.LineAddr() == dep.addr {
 				drop = append(drop, LandEntry{Addr: uint64(dep.addr), Op: j})
 			}
@@ -269,7 +276,7 @@ func (v *verifier) commitLossSchedule(tr *trace.Trace, i int, dep *lineState, in
 			drop = append(drop, LandEntry{Addr: uint64(dep.addr), Ctr: true, Op: dep.ctrWBAt})
 		}
 		for j := i + 1; j < end; j++ {
-			op := tr.Ops[j]
+			tr.Op(j, &op)
 			if op.Kind == trace.CCWB && ctrGroup(op.Addr) == ctrGroup(dep.addr) {
 				drop = append(drop, LandEntry{Addr: uint64(dep.addr), Ctr: true, Op: j})
 			}

@@ -155,6 +155,28 @@ func RunSpecTracesObserved(spec *machine.Spec, workload string, traces []*trace.
 	return runSystem(sys, workload, pb)
 }
 
+// RunSourcesObserved replays trace cursors (e.g. binary trace files
+// decoded in place) under the given configuration — the streaming
+// sibling of RunTracesObserved.
+func RunSourcesObserved(cfg *config.Config, workload string, srcs []trace.Source, pb *probe.Probe) (Result, error) {
+	sys, err := replay.NewSources(cfg, srcs)
+	if err != nil {
+		return Result{}, err
+	}
+	return runSystem(sys, workload, pb)
+}
+
+// RunSpecSourcesObserved replays trace cursors on the machine a
+// declarative spec describes — the streaming sibling of
+// RunSpecTracesObserved.
+func RunSpecSourcesObserved(spec *machine.Spec, workload string, srcs []trace.Source, pb *probe.Probe) (Result, error) {
+	sys, err := replay.NewSpecSources(spec, srcs)
+	if err != nil {
+		return Result{}, err
+	}
+	return runSystem(sys, workload, pb)
+}
+
 // runSystem drives an assembled system to completion and collects the
 // measurements.
 func runSystem(sys *replay.System, workload string, pb *probe.Probe) (Result, error) {

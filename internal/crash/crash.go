@@ -138,6 +138,15 @@ func BuildTraces(w workloads.Workload, p workloads.Params, cores int) []*trace.T
 	return traces
 }
 
+// RecordTraces builds the workload's per-core traces exactly like
+// BuildTraces and serializes them to path in the binary trace format
+// (trace.WriteTracesFile). Trace generation is deterministic in
+// (workload, params, cores), so a recorded file replays byte-identically
+// to an in-process build.
+func RecordTraces(w workloads.Workload, p workloads.Params, cores int, path string) error {
+	return trace.WriteTracesFile(path, BuildTraces(w, p, cores))
+}
+
 // DecryptImage reconstructs the plaintext view of a post-crash NVM
 // snapshot, decrypting every data line with the counter present in the
 // snapshot's counter region — stale or missing counters yield garbage,

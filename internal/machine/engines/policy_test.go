@@ -1,0 +1,53 @@
+package engines
+
+import (
+	"testing"
+
+	"encnvm/internal/config"
+)
+
+// TestCompileAgreesWithInterface pins Compile as a faithful snapshot:
+// for every built-in engine, each Policy field must equal the
+// corresponding interface answer under the default config.
+func TestCompileAgreesWithInterface(t *testing.T) {
+	cfg := config.Default(config.SCA)
+	for _, name := range Names() {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := Compile(e, cfg)
+		checks := []struct {
+			field string
+			got   bool
+			want  bool
+		}{
+			{"Encrypted", p.Encrypted, e.Encrypted()},
+			{"UsesCounterCache", p.UsesCounterCache, e.UsesCounterCache()},
+			{"CoLocatesCounters", p.CoLocatesCounters, e.CoLocatesCounters()},
+			{"SeparateCounterWrites", p.SeparateCounterWrites, e.SeparateCounterWrites()},
+			{"FIFOAcceptance", p.FIFOAcceptance, e.FIFOAcceptance()},
+			{"PairsEveryWrite", p.PairsEveryWrite, e.PairsEveryWrite()},
+			{"CounterWritebackEmits", p.CounterWritebackEmits, e.CounterWritebackEmits()},
+			{"CounterWritebackBlocks", p.CounterWritebackBlocks, e.CounterWritebackBlocks()},
+			{"IntegrityProtected", p.IntegrityProtected, e.IntegrityProtected()},
+			{"TreePathOrdered", p.TreePathOrdered, e.TreePathOrdered()},
+			{"MetadataWriteThrough", p.MetadataWriteThrough, e.MetadataWriteThrough()},
+			{"CrashConsistent", p.CrashConsistent, e.CrashConsistent()},
+		}
+		for _, c := range checks {
+			if c.got != c.want {
+				t.Errorf("%s: Policy.%s = %v, interface says %v", name, c.field, c.got, c.want)
+			}
+		}
+		if p.Name != e.Name() {
+			t.Errorf("%s: Policy.Name = %q", name, p.Name)
+		}
+		if p.StopLossLimit != e.StopLossLimit(cfg) {
+			t.Errorf("%s: Policy.StopLossLimit = %d, interface says %d", name, p.StopLossLimit, e.StopLossLimit(cfg))
+		}
+		if p.TreePathWrites != e.TreePathWrites(cfg) {
+			t.Errorf("%s: Policy.TreePathWrites = %d, interface says %d", name, p.TreePathWrites, e.TreePathWrites(cfg))
+		}
+	}
+}

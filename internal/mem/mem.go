@@ -123,10 +123,11 @@ type Write struct {
 // recorded with its completion time, so the image can be snapshotted as of
 // any instant — that is how the crash harness models a power failure.
 type Image struct {
-	log    []Write
-	cur    map[Addr]Line
-	lastAt sim.Time
-	retain bool
+	log     []Write
+	cur     map[Addr]Line
+	lastAt  sim.Time
+	retain  bool
+	logHint int
 }
 
 // NewImage returns an empty image that retains its write log (required
@@ -139,6 +140,12 @@ func NewImage() *Image {
 // runs (no crash injection) disable it to bound memory; SnapshotAt is then
 // only meaningful at or after the final write.
 func (im *Image) SetRetainLog(v bool) { im.retain = v }
+
+// SetLogHint records an expected write-log size. The hint is consumed
+// lazily on the first log growth — not eagerly — so that timing-only
+// runs, which disable retention after machine build, never pay for a
+// log they will not keep.
+func (im *Image) SetLogHint(n int) { im.logHint = n }
 
 // Apply records that the 64B line at lineAddr finished writing at time at.
 // lineAddr must be line-aligned.
@@ -158,12 +165,33 @@ func (im *Image) ApplyFull(lineAddr Addr, data Line, at sim.Time, tag uint64, su
 		panic(fmt.Sprintf("mem: unaligned image write %#x", lineAddr))
 	}
 	if im.retain {
-		im.log = append(im.log, Write{Line: lineAddr, Data: data, At: at, Tag: tag, Sum: sum})
+		n := len(im.log)
+		if n == cap(im.log) {
+			im.growLog()
+		}
+		im.log = im.log[:n+1]
+		im.log[n] = Write{Line: lineAddr, Data: data, At: at, Tag: tag, Sum: sum}
 	}
 	if at > im.lastAt {
 		im.lastAt = at
 	}
 	im.cur[lineAddr] = data
+}
+
+// growLog grows the write log out of line, honoring a pending SetLogHint
+// on first growth, so ApplyFull itself stays allocation-free once the
+// log has been sized to the trace.
+func (im *Image) growLog() {
+	newCap := 2 * cap(im.log)
+	if newCap < im.logHint {
+		newCap = im.logHint
+	}
+	if newCap < 1024 {
+		newCap = 1024
+	}
+	log := make([]Write, len(im.log), newCap)
+	copy(log, im.log)
+	im.log = log
 }
 
 // Read returns the current (end-of-run) contents of a line.

@@ -57,3 +57,52 @@ func TestNoDesignBranchingInController(t *testing.T) {
 		})
 	}
 }
+
+// The engine's static predicates are compiled into the flat
+// engines.Policy at build time (mc.pol); the per-write paths must read
+// those fields, never call back through the MetadataEngine interface.
+// Only the dynamic hooks — WriteIsCounterAtomic (per-write input) and
+// Recover (post-crash) — may be invoked on mc.meta. This pins the
+// devirtualization: a new static predicate becomes a Policy field, not
+// an interface call in the hot path.
+func TestHotPathFreeOfEngineInterfaceCalls(t *testing.T) {
+	allowed := map[string]bool{
+		"WriteIsCounterAtomic": true,
+		"Recover":              true,
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// A call on the engine field looks like <recv>.meta.<Method>(...).
+			recv, ok := sel.X.(*ast.SelectorExpr)
+			if !ok || recv.Sel.Name != "meta" {
+				return true
+			}
+			if !allowed[sel.Sel.Name] {
+				t.Errorf("%s: meta.%s() — static predicates must be read from the compiled Policy (mc.pol)",
+					fset.Position(sel.Pos()), sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

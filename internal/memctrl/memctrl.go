@@ -85,9 +85,15 @@ type writeReq struct {
 type Controller struct {
 	eng  *sim.Engine
 	cfg  *config.Config
-	meta engines.Engine // design policy: placement, atomicity, ordering
-	dev  *nvm.Device
-	st   *stats.Stats
+	meta engines.Engine // design policy: the dynamic hooks (WriteIsCounterAtomic, Recover)
+	// pol is the engine's static policy compiled to a flat struct at
+	// build time: the per-write paths read these fields instead of
+	// making interface calls (the devirtualization of ROADMAP item 2).
+	// The guard test pins the hot path to pol; only the dynamic hooks
+	// may go through meta.
+	pol engines.Policy
+	dev *nvm.Device
+	st  *stats.Stats
 
 	layout mem.Layout
 	enc    *ctrenc.Engine
@@ -141,8 +147,7 @@ type Controller struct {
 
 	// stopLossLag counts, per data line, writes since the line's counter
 	// last headed to NVM; nil unless the engine enforces a stop-loss rule.
-	stopLossLag   map[mem.Addr]int
-	stopLossLimit int
+	stopLossLag map[mem.Addr]int
 
 	// treeExtraBytes widens every fresh counter-queue entry by the
 	// engine's integrity-tree path (ancestor tree nodes + MAC line, BMT):
@@ -150,36 +155,29 @@ type Controller struct {
 	// write coalesces its path too — Freij-style streamlined tree
 	// updates. Zero for engines without a persisted tree.
 	treeExtraBytes int
-	// writeThrough enqueues the combined counter+MAC metadata line with
-	// every data write (SecPM): metadata enters the ADR domain at the
-	// same accept instant as its data, making it crash consistent by
-	// construction, while counter-queue coalescing supplies the scheme's
-	// counter write coalescing.
-	writeThrough bool
 }
 
 // New builds a controller over the given device, with the given metadata
 // engine supplying every design decision.
 func New(eng *sim.Engine, cfg *config.Config, meta engines.Engine, dev *nvm.Device, st *stats.Stats) *Controller {
 	mc := &Controller{
-		eng:           eng,
-		cfg:           cfg,
-		meta:          meta,
-		dev:           dev,
-		st:            st,
-		layout:        dev.Layout(),
-		ctrs:          ctrenc.NewCounters(),
-		stopLossLimit: meta.StopLossLimit(cfg),
+		eng:    eng,
+		cfg:    cfg,
+		meta:   meta,
+		pol:    engines.Compile(meta, cfg),
+		dev:    dev,
+		st:     st,
+		layout: dev.Layout(),
+		ctrs:   ctrenc.NewCounters(),
 	}
-	mc.treeExtraBytes = cfg.LineBytes * meta.TreePathWrites(cfg)
-	mc.writeThrough = meta.MetadataWriteThrough()
-	if meta.Encrypted() {
+	mc.treeExtraBytes = cfg.LineBytes * mc.pol.TreePathWrites
+	if mc.pol.Encrypted {
 		mc.enc = ctrenc.NewDefault()
 	}
-	if meta.UsesCounterCache() {
+	if mc.pol.UsesCounterCache {
 		mc.ctrC = cache.New(cfg.CounterCache)
 	}
-	if mc.stopLossLimit >= 0 {
+	if mc.pol.StopLossLimit >= 0 {
 		mc.stopLossLag = make(map[mem.Addr]int)
 	}
 	// Pre-size the queues to their configured capacities and carve the
@@ -367,17 +365,17 @@ func (mc *Controller) Read(addr mem.Addr, done func()) {
 	}
 
 	switch {
-	case !mc.meta.Encrypted():
+	case !mc.pol.Encrypted:
 		mc.dev.Read(addr, mc.cfg.AccessBytes(), func(mem.Line, bool) { done() })
 
-	case mc.meta.CoLocatesCounters() && !mc.meta.UsesCounterCache():
+	case mc.pol.CoLocatesCounters && !mc.pol.UsesCounterCache:
 		// No counter cache: the counter arrives with the data, so
 		// decryption strictly follows the read (Fig. 6a).
 		mc.dev.Read(addr, mc.cfg.AccessBytes(), func(mem.Line, bool) {
 			mc.eng.Schedule(mc.cfg.CryptoLatency, done)
 		})
 
-	case mc.meta.CoLocatesCounters():
+	case mc.pol.CoLocatesCounters:
 		cl := mc.layout.CounterLine(addr)
 		hit := mc.ctrC.Access(cl, false).Hit
 		mc.ctrC.Clean(cl) // co-located counters are never dirty on-chip
@@ -478,7 +476,7 @@ func (mc *Controller) Write(addr mem.Addr, plain mem.Line, ca bool, accepted fun
 // ADR domain — immediately if there was nothing to write.
 func (mc *Controller) CounterWriteback(addr mem.Addr, accepted func()) {
 	mc.st.Inc(stats.CCWBs, 1)
-	if !mc.meta.CounterWritebackEmits() {
+	if !mc.pol.CounterWritebackEmits {
 		// Co-located designs have no separate counters to write, and
 		// checksum-recovery engines make the primitive unnecessary:
 		// recovery regenerates counters from the persisted ECC within
@@ -494,7 +492,7 @@ func (mc *Controller) CounterWriteback(addr mem.Addr, accepted func()) {
 	cl := mc.layout.CounterLine(addr)
 	req := mc.getReq()
 	req.addr, req.isCtr, req.ccwb, req.arrival = cl, true, true, mc.eng.Now()
-	if !mc.meta.CounterWritebackBlocks() {
+	if !mc.pol.CounterWritebackBlocks {
 		// The Ideal design pays the counter write traffic but never
 		// the ordering: the barrier does not wait for the counter to
 		// enter the ADR domain — which is exactly why it is not crash
@@ -553,7 +551,7 @@ func (mc *Controller) tryAccept() {
 	defer func() { mc.accepting = false }()
 	defer mc.probeQueues()
 
-	fifo := mc.meta.FIFOAcceptance()
+	fifo := mc.pol.FIFOAcceptance
 	// blockedLines is bounded by acceptWindow, so a linear scan beats a
 	// map allocation on this very hot path; stalls are tallied locally
 	// and flushed to the stats map once per call.
@@ -687,13 +685,13 @@ func (mc *Controller) acceptData(req *writeReq) {
 	var cryptoDelay sim.Time
 	var ctr uint64
 	sum := ctrenc.Checksum(req.plain, req.addr)
-	if mc.meta.Encrypted() {
+	if mc.pol.Encrypted {
 		ctr = mc.ctrs.Next(req.addr)
 		cipher = mc.enc.Encrypt(req.plain, req.addr, ctr)
 		cryptoDelay = mc.cfg.CryptoLatency
 		mc.touchCounterCacheForWrite(req.addr)
 		mc.stopLoss(req.addr, cryptoDelay)
-		if mc.writeThrough {
+		if mc.pol.MetadataWriteThrough {
 			// SecPM: the combined counter+MAC line rides along with every
 			// data write. Queueing it here puts metadata into the ADR
 			// domain at the same accept instant as the data (crash
@@ -724,7 +722,7 @@ func (mc *Controller) acceptData(req *writeReq) {
 		for _, old := range mc.dataQ {
 			if old.addr == req.addr && !old.issued && !old.ca {
 				old.data, old.tag, old.sum = cipher, ctr, sum
-				if mc.meta.CoLocatesCounters() {
+				if mc.pol.CoLocatesCounters {
 					// The refreshed 72B access carries the new counter.
 					old.syncCtr = true
 				}
@@ -739,7 +737,7 @@ func (mc *Controller) acceptData(req *writeReq) {
 
 	e := mc.getEntry()
 	e.addr, e.data, e.nbytes, e.tag, e.sum, e.ca = req.addr, cipher, mc.cfg.AccessBytes(), ctr, sum, req.ca
-	if mc.meta.CoLocatesCounters() {
+	if mc.pol.CoLocatesCounters {
 		// The 72B access carries the counter with the data; reflect
 		// that in the functional image at the same completion instant
 		// so the pair is atomic by construction.
@@ -750,7 +748,7 @@ func (mc *Controller) acceptData(req *writeReq) {
 
 	if req.ca {
 		cl := mc.layout.CounterLine(req.addr)
-		if mc.meta.PairsEveryWrite() {
+		if mc.pol.PairsEveryWrite {
 			// FCA pairs every write with its own counter-line write —
 			// the pair is indivisible, so the counter half never
 			// coalesces. This is what doubles FCA's write traffic
@@ -936,7 +934,7 @@ func (mc *Controller) stopLoss(addr mem.Addr, cryptoDelay sim.Time) {
 	}
 	line := addr.LineAddr()
 	mc.stopLossLag[line]++
-	if mc.stopLossLag[line] < mc.stopLossLimit {
+	if mc.stopLossLag[line] < mc.pol.StopLossLimit {
 		return
 	}
 	cl := mc.layout.CounterLine(line)
@@ -977,11 +975,11 @@ func (mc *Controller) touchCounterCacheForWrite(addr mem.Addr) {
 		return
 	}
 	mc.st.Inc(stats.CounterCacheMiss, 1)
-	if mc.meta.SeparateCounterWrites() {
+	if mc.pol.SeparateCounterWrites {
 		// Background fill of the other seven counters in the line.
 		mc.dev.Read(cl, 64, func(mem.Line, bool) {})
 	}
-	if mc.meta.CoLocatesCounters() {
+	if mc.pol.CoLocatesCounters {
 		mc.ctrC.Clean(cl) // co-located counters persist with their data
 	}
 }

@@ -62,7 +62,9 @@ type core struct {
 	sys *System
 	id  int
 	l1  *cache.Cache
-	tr  *trace.Trace
+	src trace.Source
+	n   int      // src.Len(), cached for the hot loop
+	cur trace.Op // scratch decode target; src.Op(pc, &cur) is allocation-free
 	pc  int
 
 	// retire, when non-nil, records the retire instant of every op (the
@@ -77,7 +79,11 @@ type core struct {
 	fenceStart  sim.Time // when the current fence began blocking
 	done        bool
 	doneAt      sim.Time
-	txEnds      []sim.Time // completion time of each transaction
+	// txEnds records the completion time of each transaction: pre-sized
+	// to the trace's TxEnd count at build, filled through ntx so the hot
+	// loop never appends.
+	txEnds []sim.Time
+	ntx    int
 
 	// stage is the 1-based index into txStageNames of the transaction
 	// stage span currently open on this core's timeline track (0 when no
@@ -97,29 +103,49 @@ var txStageNames = [...]string{"log", "log-seal", "mutate", "commit-switch"}
 // must equal cfg.NumCores. The machine is assembled through the builder
 // (machine.FromConfig): PCM backend, engine chosen by cfg.Design.
 func New(cfg *config.Config, traces []*trace.Trace) (*System, error) {
+	return NewSources(cfg, trace.Sources(traces))
+}
+
+// NewSources is New over trace cursors: the path that replays binary
+// trace files without materializing []trace.Op.
+func NewSources(cfg *config.Config, srcs []trace.Source) (*System, error) {
 	m, err := machine.FromConfig(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return NewMachine(m, traces)
+	return NewMachineSources(m, srcs)
 }
 
 // NewSpec builds a system for a declarative machine spec — the path that
 // reaches custom engines, sizings, and non-PCM backends.
 func NewSpec(spec *machine.Spec, traces []*trace.Trace) (*System, error) {
+	return NewSpecSources(spec, trace.Sources(traces))
+}
+
+// NewSpecSources is NewSpec over trace cursors.
+func NewSpecSources(spec *machine.Spec, srcs []trace.Source) (*System, error) {
 	m, err := machine.Build(spec)
 	if err != nil {
 		return nil, err
 	}
-	return NewMachine(m, traces)
+	return NewMachineSources(m, srcs)
 }
 
 // NewMachine attaches replay cores to an assembled machine. len(traces)
 // must equal the machine's core count.
 func NewMachine(m *machine.Machine, traces []*trace.Trace) (*System, error) {
+	return NewMachineSources(m, trace.Sources(traces))
+}
+
+// NewMachineSources attaches replay cores that iterate trace cursors.
+// Every source is validated (BinReader validates at construction and
+// reports nil here), and the source lengths pre-size the event queue,
+// the device write log, and the per-transaction history so the replay
+// hot loop runs without growth allocations.
+func NewMachineSources(m *machine.Machine, srcs []trace.Source) (*System, error) {
 	cfg := m.Cfg
-	if len(traces) != cfg.NumCores {
-		return nil, fmt.Errorf("replay: %d traces for %d cores", len(traces), cfg.NumCores)
+	if len(srcs) != cfg.NumCores {
+		return nil, fmt.Errorf("replay: %d traces for %d cores", len(srcs), cfg.NumCores)
 	}
 	sys := &System{
 		Eng:    m.Eng,
@@ -133,14 +159,29 @@ func NewMachine(m *machine.Machine, traces []*trace.Trace) (*System, error) {
 		plain:  mem.NewSpace(),
 		caLine: make(map[mem.Addr]bool),
 	}
-	for i, tr := range traces {
-		if err := tr.Validate(); err != nil {
+	totalOps := 0
+	for i, src := range srcs {
+		if src == nil {
+			return nil, fmt.Errorf("replay: core %d: nil trace source", i)
+		}
+		if err := src.Validate(); err != nil {
 			return nil, fmt.Errorf("replay: core %d: %w", i, err)
 		}
+		totalOps += src.Len()
 		sys.cores = append(sys.cores, &core{
-			sys: sys, id: i, l1: cache.New(cfg.L1), tr: tr,
+			sys: sys, id: i, l1: cache.New(cfg.L1), src: src, n: src.Len(),
+			txEnds: make([]sim.Time, trace.CountKind(src, trace.TxEnd)),
 		})
 	}
+	// The event queue holds in-flight events (bounded by cores plus
+	// controller occupancy), not one per op; a modest trace-scaled
+	// reservation absorbs the startup ramp without oversizing.
+	reserve := 256 + totalOps
+	if reserve > 4096 {
+		reserve = 4096
+	}
+	sys.Eng.ReserveEvents(reserve)
+	sys.Dev.Image().SetLogHint(totalOps)
 	return sys, nil
 }
 
@@ -157,7 +198,7 @@ func (s *System) Plain() *mem.Space { return s.plain }
 // when their controller interactions occur.
 func (s *System) RecordRetireTimes() {
 	for _, c := range s.cores {
-		c.retire = make([]sim.Time, c.tr.Len())
+		c.retire = make([]sim.Time, c.n)
 		c.nret = 0
 	}
 }
@@ -272,7 +313,7 @@ func (s *System) MeasuredRuntime() sim.Time {
 func (s *System) Transactions() int {
 	n := 0
 	for _, c := range s.cores {
-		n += len(c.txEnds)
+		n += c.ntx
 	}
 	return n
 }
@@ -360,7 +401,7 @@ func (c *core) step() {
 	cfg := c.sys.Cfg
 	var acc sim.Time
 	for acc < maxBatch {
-		if c.pc >= c.tr.Len() {
+		if c.pc >= c.n {
 			if acc > 0 {
 				c.next(acc)
 				return
@@ -372,7 +413,8 @@ func (c *core) step() {
 			}
 			return
 		}
-		op := &c.tr.Ops[c.pc]
+		c.src.Op(c.pc, &c.cur)
+		op := &c.cur
 		switch op.Kind {
 		case trace.Compute:
 			acc += sim.Time(op.Cycles) * cfg.CPUCycle
@@ -414,7 +456,8 @@ func (c *core) step() {
 			c.mark(c.sys.Eng.Now() + acc)
 			continue
 		case trace.TxEnd:
-			c.txEnds = append(c.txEnds, c.sys.Eng.Now()+acc)
+			c.txEnds[c.ntx] = c.sys.Eng.Now() + acc
+			c.ntx++
 			c.sys.St.Inc(stats.Transactions, 1)
 			if c.stage != 0 {
 				at := c.sys.Eng.Now() + acc
@@ -437,7 +480,10 @@ func (c *core) step() {
 		return
 	}
 
-	op := c.tr.Ops[c.pc]
+	// c.cur still holds the op decoded at the top of the batch loop: the
+	// complex path is only reached via break with acc == 0, i.e. on the
+	// iteration that decoded c.pc.
+	op := c.cur
 	c.pc++
 	// A controller-touching op retires at its dispatch instant: its
 	// synchronous controller interactions happen now, and the next op

@@ -145,8 +145,37 @@ func (e *Engine) At(t Time, fn func()) {
 		panic("sim: scheduling event in the past")
 	}
 	e.seq++
-	e.queue = append(e.queue, event{at: t, seq: e.seq, fn: fn})
-	e.queue.siftUp(len(e.queue) - 1)
+	n := len(e.queue)
+	if n == cap(e.queue) {
+		e.grow()
+	}
+	e.queue = e.queue[:n+1]
+	e.queue[n] = event{at: t, seq: e.seq, fn: fn}
+	e.queue.siftUp(n)
+}
+
+// grow doubles the queue's capacity out of line so that At itself stays
+// allocation-free once ReserveEvents has pre-sized the queue.
+func (e *Engine) grow() {
+	newCap := 2 * cap(e.queue)
+	if newCap < 64 {
+		newCap = 64
+	}
+	q := make(eventQueue, len(e.queue), newCap)
+	copy(q, e.queue)
+	e.queue = q
+}
+
+// ReserveEvents grows the queue's capacity so that at least n more
+// events can be scheduled without reallocation. Replay calls it once,
+// with a trace-length-derived hint, before the event loop starts.
+func (e *Engine) ReserveEvents(n int) {
+	if cap(e.queue)-len(e.queue) >= n {
+		return
+	}
+	q := make(eventQueue, len(e.queue), len(e.queue)+n)
+	copy(q, e.queue)
+	e.queue = q
 }
 
 // Run executes events until the queue is empty or Stop is called. It returns

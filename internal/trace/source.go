@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"fmt"
+
+	"encnvm/internal/mem"
+)
+
+// Source is a read-only cursor over one core's operation stream. It is
+// the seam between trace producers and the replay/verification
+// consumers: the in-memory *Trace satisfies it trivially, and BinReader
+// satisfies it by decoding fixed-width binary records in place, so a
+// campaign can replay traces it never materializes as []Op.
+//
+// Op writes into a caller-owned destination instead of returning a
+// value so that implementations stay allocation-free on the replay hot
+// path: the caller keeps one scratch Op and re-decodes into it.
+type Source interface {
+	// Len returns the number of operations in the stream.
+	Len() int
+	// Op copies operation i into dst. i must be in [0, Len()).
+	Op(i int, dst *Op)
+	// Validate checks whole-stream structural sanity (see
+	// Trace.Validate). Implementations that validate at construction
+	// time may return nil unconditionally.
+	Validate() error
+}
+
+// Sources adapts a per-core trace set to the Source interface.
+func Sources(traces []*Trace) []Source {
+	out := make([]Source, len(traces))
+	for i, tr := range traces {
+		out[i] = tr
+	}
+	return out
+}
+
+// BinSources adapts a decoded per-core binary trace set to Source.
+func BinSources(rs []*BinReader) []Source {
+	out := make([]Source, len(rs))
+	for i, r := range rs {
+		out[i] = r
+	}
+	return out
+}
+
+// ValidateSources validates one source per core, reporting the
+// offending core — the Source-shaped sibling of ValidateAll.
+func ValidateSources(srcs []Source) error {
+	for i, s := range srcs {
+		if s == nil {
+			return fmt.Errorf("trace: core %d: nil source", i)
+		}
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("core %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Materialize copies a source into an in-memory Trace. Consumers that
+// mutate ops (the mutant catalog, crash-prefix slicing) need the
+// materialized form; everything read-only should stay on the cursor.
+func Materialize(s Source) *Trace {
+	n := s.Len()
+	t := &Trace{Ops: make([]Op, n)}
+	for i := 0; i < n; i++ {
+		s.Op(i, &t.Ops[i])
+	}
+	return t
+}
+
+// CountKind returns how many ops of kind k the source contains. Replay
+// uses it to pre-size per-transaction history exactly.
+func CountKind(s Source, k Kind) int {
+	var op Op
+	n, count := s.Len(), 0
+	for i := 0; i < n; i++ {
+		s.Op(i, &op)
+		if op.Kind == k {
+			count++
+		}
+	}
+	return count
+}
+
+// CountsOf returns per-kind op counts for a source (Trace.Counts for
+// cursors).
+func CountsOf(s Source) map[Kind]int {
+	var op Op
+	out := make(map[Kind]int)
+	n := s.Len()
+	for i := 0; i < n; i++ {
+		s.Op(i, &op)
+		out[op.Kind]++
+	}
+	return out
+}
+
+// TransactionsOf returns the number of complete TxBegin/TxEnd pairs in
+// a source (Trace.Transactions for cursors).
+func TransactionsOf(s Source) int {
+	var op Op
+	begins, ends := 0, 0
+	n := s.Len()
+	for i := 0; i < n; i++ {
+		s.Op(i, &op)
+		switch op.Kind {
+		case TxBegin:
+			begins++
+		case TxEnd:
+			ends++
+		}
+	}
+	if ends < begins {
+		return ends
+	}
+	return begins
+}
+
+// FootprintLinesOf returns the number of distinct data lines a source
+// touches (Trace.FootprintLines for cursors).
+func FootprintLinesOf(s Source) int {
+	var op Op
+	seen := make(map[mem.Addr]bool)
+	n := s.Len()
+	for i := 0; i < n; i++ {
+		s.Op(i, &op)
+		switch op.Kind {
+		case Read, Write, Clwb:
+			seen[op.Addr.LineAddr()] = true
+		}
+	}
+	return len(seen)
+}

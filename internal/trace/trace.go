@@ -138,6 +138,9 @@ func (t *Trace) Append(op Op) { t.Ops = append(t.Ops, op) }
 // Len returns the number of ops.
 func (t *Trace) Len() int { return len(t.Ops) }
 
+// Op copies operation i into dst, satisfying Source.
+func (t *Trace) Op(i int, dst *Op) { *dst = t.Ops[i] }
+
 // Counts returns how many ops of each kind the trace contains.
 func (t *Trace) Counts() map[Kind]int {
 	out := make(map[Kind]int)
@@ -161,7 +164,7 @@ func (t *Trace) Transactions() int {
 	if ends < begins {
 		return ends
 	}
-	return ends
+	return begins
 }
 
 // Validate checks whole-trace structural sanity on top of the per-op
@@ -172,26 +175,45 @@ func (t *Trace) Transactions() int {
 // downstream diagnostics are positions in Ops and are monotone by
 // construction.
 func (t *Trace) Validate() error {
-	depth := 0
-	for i, op := range t.Ops {
-		if err := op.Validate(); err != nil {
-			return fmt.Errorf("trace: op %d: %w", i, err)
-		}
-		switch op.Kind {
-		case TxBegin:
-			depth++
-			if depth > 1 {
-				return fmt.Errorf("trace: nested TxBegin at op %d", i)
-			}
-		case TxEnd:
-			depth--
-			if depth < 0 {
-				return fmt.Errorf("trace: TxEnd without TxBegin at op %d", i)
-			}
+	var tx txTracker
+	for i := range t.Ops {
+		if err := tx.op(i, &t.Ops[i]); err != nil {
+			return err
 		}
 	}
-	if depth != 0 {
-		return fmt.Errorf("trace: %d unclosed transactions", depth)
+	return tx.finish()
+}
+
+// txTracker is the shared streaming validator behind Trace.Validate and
+// NewBinReader: per-op structural checks plus transaction nesting in a
+// single pass, so both the in-memory and the binary ingestion paths
+// enforce the same invariants with the same diagnostics.
+type txTracker struct {
+	depth int
+}
+
+func (t *txTracker) op(i int, op *Op) error {
+	if err := op.Validate(); err != nil {
+		return fmt.Errorf("trace: op %d: %w", i, err)
+	}
+	switch op.Kind {
+	case TxBegin:
+		t.depth++
+		if t.depth > 1 {
+			return fmt.Errorf("trace: nested TxBegin at op %d", i)
+		}
+	case TxEnd:
+		t.depth--
+		if t.depth < 0 {
+			return fmt.Errorf("trace: TxEnd without TxBegin at op %d", i)
+		}
+	}
+	return nil
+}
+
+func (t *txTracker) finish() error {
+	if t.depth != 0 {
+		return fmt.Errorf("trace: %d unclosed transactions", t.depth)
 	}
 	return nil
 }

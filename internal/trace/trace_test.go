@@ -48,6 +48,28 @@ func TestTransactions(t *testing.T) {
 	}
 }
 
+// TestTransactionsUnbalanced pins Transactions = min(begins, ends) on
+// unvalidated traces. Regression: the ends > begins arm used to return
+// ends, overcounting complete pairs.
+func TestTransactionsUnbalanced(t *testing.T) {
+	moreEnds := &Trace{}
+	moreEnds.Append(Op{Kind: TxEnd})
+	moreEnds.Append(Op{Kind: TxBegin})
+	moreEnds.Append(Op{Kind: TxEnd})
+	moreEnds.Append(Op{Kind: TxEnd})
+	if got := moreEnds.Transactions(); got != 1 {
+		t.Fatalf("Transactions (3 ends, 1 begin) = %d, want 1", got)
+	}
+
+	moreBegins := &Trace{}
+	moreBegins.Append(Op{Kind: TxBegin})
+	moreBegins.Append(Op{Kind: TxEnd})
+	moreBegins.Append(Op{Kind: TxBegin})
+	if got := moreBegins.Transactions(); got != 1 {
+		t.Fatalf("Transactions (2 begins, 1 end) = %d, want 1", got)
+	}
+}
+
 func TestValidate(t *testing.T) {
 	good := &Trace{}
 	good.Append(Op{Kind: TxBegin})
